@@ -1,0 +1,51 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// memory-consistency model (the paper's largest Reunion-overhead
+// contributor) and the Leave-DMR flush rate (the paper's pessimistic
+// 1-line-per-cycle assumption).
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// BenchmarkAblationTSO compares Reunion's normalized IPC under the
+// paper's sequential consistency against TSO (the original Reunion
+// paper's model). Smolens: SC costs Reunion ~30% on average — TSO
+// should recover most of it.
+func BenchmarkAblationTSO(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.TSOAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(exp.TSOTable(rows))
+			for _, r := range rows {
+				b.ReportMetric(r.ReunionSC.Mean(), r.Workload+":SC")
+				b.ReportMetric(r.ReunionTSO.Mean(), r.Workload+":TSO")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFlushRate sweeps the one-line-per-cycle flush
+// assumption behind Table 1's ~10k-cycle Leave-DMR cost.
+func BenchmarkAblationFlushRate(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.FlushAblation(cfg, "oltp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(exp.FlushTable("oltp", rows))
+			for _, r := range rows {
+				b.ReportMetric(r.Leave.Mean(), fmt.Sprintf("flush%d:leave-cycles", r.LinesPerCycle))
+			}
+		}
+	}
+}

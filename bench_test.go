@@ -1,0 +1,226 @@
+// Package repro's benchmarks regenerate every table and figure of the
+// paper's evaluation (Section 5). Each benchmark runs the experiment at
+// a scale controlled by -short (reduced) or default (full), reports the
+// paper-comparable numbers through b.ReportMetric, and prints the same
+// rows the paper reports.
+//
+//	go test -bench=. -benchmem                 # everything
+//	go test -bench=BenchmarkFigure5a           # one figure
+//	go test -short -bench=.                    # reduced scale
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func benchConfig(b *testing.B) exp.Config {
+	if testing.Short() {
+		return exp.Quick()
+	}
+	return exp.Default()
+}
+
+// The Figure 5 and Figure 6 sweeps each feed two benchmarks (the (a)
+// per-thread IPC panel and the (b) throughput panel); cache the sweep
+// so a full -bench=. run does not simulate everything twice.
+var (
+	fig5Cache []exp.Fig5Row
+	fig6Cache []exp.Fig6Row
+)
+
+func figure5(b *testing.B, cfg exp.Config) []exp.Fig5Row {
+	if fig5Cache == nil {
+		rows, err := exp.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !testing.Short() {
+			fig5Cache = rows
+		}
+		return rows
+	}
+	return fig5Cache
+}
+
+func figure6(b *testing.B, cfg exp.Config) []exp.Fig6Row {
+	if fig6Cache == nil {
+		rows, err := exp.Figure6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !testing.Short() {
+			fig6Cache = rows
+		}
+		return rows
+	}
+	return fig6Cache
+}
+
+// BenchmarkFigure5a regenerates Figure 5(a): normalized per-thread user
+// IPC of No DMR 2X, No DMR and Reunion. Paper bands: No DMR +8–15%
+// over the 2X baseline; Reunion −22–48%.
+func BenchmarkFigure5a(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := figure5(b, cfg)
+		if i == 0 {
+			fmt.Println(exp.Figure5aTable(rows))
+			for _, r := range rows {
+				b.ReportMetric(r.IPCNoDMR.Mean(), r.Workload+":NoDMR")
+				b.ReportMetric(r.IPCReunion.Mean(), r.Workload+":Reunion")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5b regenerates Figure 5(b): normalized throughput.
+// Paper bands: No DMR ≈ 0.5 of the 2X baseline; Reunion ≈ 0.25–0.33.
+func BenchmarkFigure5b(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := figure5(b, cfg)
+		if i == 0 {
+			fmt.Println(exp.Figure5bTable(rows))
+			for _, r := range rows {
+				b.ReportMetric(r.TPNoDMR.Mean(), r.Workload+":NoDMR")
+				b.ReportMetric(r.TPReunion.Mean(), r.Workload+":Reunion")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6a regenerates Figure 6(a): consolidated-server
+// per-thread user IPC under DMR-base, MMM-IPC and MMM-TP. Paper bands:
+// the performance VM gains 25–85% (MMM-IPC) and 24–67% (MMM-TP); the
+// reliable VM is roughly unchanged.
+func BenchmarkFigure6a(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := figure6(b, cfg)
+		if i == 0 {
+			fmt.Println(exp.Figure6aTable(rows))
+			for _, r := range rows {
+				b.ReportMetric(r.IPCPerfIPC.Mean(), r.Workload+":perf@IPC")
+				b.ReportMetric(r.IPCPerfTP.Mean(), r.Workload+":perf@TP")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6b regenerates Figure 6(b): consolidated-server
+// throughput. Paper bands: MMM-TP's performance VM 2.4–3.6x DMR-base;
+// whole machine 1.7–2.3x.
+func BenchmarkFigure6b(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := figure6(b, cfg)
+		if i == 0 {
+			fmt.Println(exp.Figure6bTable(rows))
+			for _, r := range rows {
+				b.ReportMetric(r.TPPerfTP.Mean(), r.Workload+":perfVM@TP")
+				b.ReportMetric(r.TPTotalTP.Mean(), r.Workload+":total@TP")
+			}
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: the per-VCPU mode-switching
+// overheads measured from MMM-TP. Paper values: Enter ≈ 2.2–2.4k
+// cycles, Leave ≈ 9.9–10.4k cycles.
+func BenchmarkTable1(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(exp.Table1Table(rows))
+			for _, r := range rows {
+				b.ReportMetric(r.Enter.Mean(), r.Workload+":enter-cycles")
+				b.ReportMetric(r.Leave.Mean(), r.Workload+":leave-cycles")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: cycles before switching modes in
+// a single-OS system. Paper values: user 59k–554k, OS 35k–220k.
+func BenchmarkTable2(b *testing.B) {
+	cfg := benchConfig(b)
+	if !testing.Short() {
+		// Long-burst workloads (pgbench) need several phase round
+		// trips per run for a stable estimate.
+		cfg.Measure = 2_500_000
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(exp.Table2Table(rows))
+			for _, r := range rows {
+				b.ReportMetric(r.UserCyc.Mean()/1000, r.Workload+":user-kcyc")
+				b.ReportMetric(r.OSCyc.Mean()/1000, r.Workload+":os-kcyc")
+			}
+		}
+	}
+}
+
+// BenchmarkPABLatency regenerates the Section 5.2 design study: the
+// serial 2-cycle PAB lookup costs the performance application 3–10%
+// IPC; the reliable application is unaffected.
+func BenchmarkPABLatency(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.PABStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(exp.PABTable(rows))
+			for _, r := range rows {
+				b.ReportMetric(r.PerfIPCRatio.Mean(), r.Workload+":perf-serial/parallel")
+			}
+		}
+	}
+}
+
+// BenchmarkSingleOSOverhead regenerates the Section 5.3 analysis:
+// single-OS mode switching costs ≈8% for Apache and <5% for the other
+// workloads.
+func BenchmarkSingleOSOverhead(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.SingleOSOverhead(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(exp.SingleOSTable(rows))
+			for _, r := range rows {
+				b.ReportMetric(100*r.Overhead.Mean(), r.Workload+":overhead-pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFaultInjection runs the protection-validation campaign the
+// paper's design arguments imply (not a paper table, but the direct
+// test of Section 3.4's mechanisms).
+func BenchmarkFaultInjection(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.FaultStudy(cfg, "apache", 40_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(exp.FaultTable(rows))
+		}
+	}
+}

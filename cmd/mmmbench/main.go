@@ -1,0 +1,157 @@
+// Command mmmbench regenerates every table and figure of the paper's
+// evaluation (Section 5) on the simulated Mixed-Mode Multicore:
+//
+//	mmmbench                  # everything, default scale
+//	mmmbench -exp fig5a       # one experiment
+//	mmmbench -quick           # reduced scale (fast smoke run)
+//	mmmbench -measure 3000000 # override the measurement window
+//
+// Experiments: fig5a, fig5b, fig6a, fig6b, table1, table2, pab,
+// singleos, faults.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "experiment: all,fig5a,fig5b,fig6a,fig6b,table1,table2,pab,singleos,faults")
+		quick   = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+		warmup  = flag.Uint64("warmup", 0, "override warmup cycles")
+		measure = flag.Uint64("measure", 0, "override measurement cycles")
+		slice   = flag.Uint64("timeslice", 0, "override gang-scheduling timeslice cycles")
+		seeds   = flag.Int("seeds", 0, "override number of seeds")
+		par     = flag.Int("parallel", 0, "override worker parallelism")
+	)
+	flag.Parse()
+
+	cfg := exp.Default()
+	if *quick {
+		cfg = exp.Quick()
+	}
+	if *warmup > 0 {
+		cfg.Warmup = sim.Cycle(*warmup)
+	}
+	if *measure > 0 {
+		cfg.Measure = sim.Cycle(*measure)
+	}
+	if *slice > 0 {
+		cfg.Timeslice = sim.Cycle(*slice)
+	}
+	if *seeds > 0 {
+		cfg.Seeds = cfg.Seeds[:0]
+		for i := 0; i < *seeds; i++ {
+			cfg.Seeds = append(cfg.Seeds, uint64(11+10*i))
+		}
+	}
+	if *par > 0 {
+		cfg.Parallel = *par
+	}
+
+	run := func(name string, fn func() error) {
+		if *which != "all" && !strings.EqualFold(*which, name) {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "mmmbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	var fig5 []exp.Fig5Row
+	run("fig5a", func() error {
+		rows, err := exp.Figure5(cfg)
+		if err != nil {
+			return err
+		}
+		fig5 = rows
+		fmt.Println(exp.Figure5aTable(rows))
+		return nil
+	})
+	run("fig5b", func() error {
+		rows := fig5
+		if rows == nil {
+			var err error
+			rows, err = exp.Figure5(cfg)
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Println(exp.Figure5bTable(rows))
+		return nil
+	})
+
+	var fig6 []exp.Fig6Row
+	run("fig6a", func() error {
+		rows, err := exp.Figure6(cfg)
+		if err != nil {
+			return err
+		}
+		fig6 = rows
+		fmt.Println(exp.Figure6aTable(rows))
+		return nil
+	})
+	run("fig6b", func() error {
+		rows := fig6
+		if rows == nil {
+			var err error
+			rows, err = exp.Figure6(cfg)
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Println(exp.Figure6bTable(rows))
+		return nil
+	})
+
+	run("table1", func() error {
+		rows, err := exp.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.Table1Table(rows))
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := exp.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.Table2Table(rows))
+		return nil
+	})
+	run("pab", func() error {
+		rows, err := exp.PABStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.PABTable(rows))
+		return nil
+	})
+	run("singleos", func() error {
+		rows, err := exp.SingleOSOverhead(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.SingleOSTable(rows))
+		return nil
+	})
+	run("faults", func() error {
+		rows, err := exp.FaultStudy(cfg, "apache", 40_000)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FaultTable(rows))
+		return nil
+	})
+}

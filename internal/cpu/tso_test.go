@@ -1,0 +1,75 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// TestTSOStoresDoNotBlockCommit: under TSO a committed store drains
+// from the store buffer in the background, so a stream with stores
+// commits much faster than under SC.
+func TestTSOStoresDoNotBlockCommit(t *testing.T) {
+	mkInsts := func() []isa.Inst {
+		var insts []isa.Inst
+		for i := 0; i < 200; i++ {
+			cls := isa.ALU
+			if i%4 == 0 {
+				cls = isa.Store
+			}
+			insts = append(insts, isa.Inst{
+				Class: cls,
+				VA:    0x2000_0000 + uint64(i%8)*64,
+				PC:    0x1000 + uint64(i%16)*4,
+			})
+		}
+		return insts
+	}
+	run := func(tso bool) uint64 {
+		cfg, h, sp := testRig(t, 2)
+		cfg.TSO = tso
+		c := New(0, cfg, h)
+		c.SetSpace(sp)
+		c.SetSource(script(mkInsts()...))
+		for now := sim.Cycle(0); now < 4000; now++ {
+			c.Tick(now)
+		}
+		return c.C.StoreCommitStall
+	}
+	sc := run(false)
+	tso := run(true)
+	if tso >= sc {
+		t.Fatalf("TSO store stalls (%d) should be below SC's (%d)", tso, sc)
+	}
+}
+
+// TestTSOStoreBufferBounded: a burst of slow stores fills the bounded
+// store buffer and eventually blocks commit.
+func TestTSOStoreBufferBounded(t *testing.T) {
+	cfg, h, sp := testRig(t, 2)
+	cfg.TSO = true
+	cfg.StoreBufferEntries = 2
+	var insts []isa.Inst
+	for i := 0; i < 64; i++ {
+		// Distinct cold pages: every store's ownership fetch goes to
+		// memory.
+		insts = append(insts, isa.Inst{
+			Class: isa.Store,
+			VA:    0x2000_0000 + uint64(i)*8192,
+			PC:    0x1000,
+		})
+	}
+	c := New(0, cfg, h)
+	c.SetSpace(sp)
+	c.SetSource(script(insts...))
+	for now := sim.Cycle(0); now < 3000; now++ {
+		c.Tick(now)
+		if len(c.storeBuf) > 2 {
+			t.Fatal("store buffer exceeded its bound")
+		}
+	}
+	if c.C.StoreCommitStall == 0 {
+		t.Fatal("full store buffer never blocked commit")
+	}
+}

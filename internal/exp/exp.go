@@ -1,0 +1,147 @@
+// Package exp defines the paper's experiments: one function per table
+// and figure of the evaluation (Section 5), each running the required
+// system configurations over all six workloads and multiple seeds, and
+// rendering the same rows/series the paper reports. cmd/mmmbench and
+// the repository-level benchmarks are thin wrappers around this
+// package.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config scales the experiments. The paper simulates 100M cycles per
+// run with 3M-cycle (1 ms) timeslices; that is hours of host time for
+// a full sweep, so the defaults use shorter, proportionally scaled
+// windows. Quick() shrinks further for smoke tests.
+type Config struct {
+	Warmup    sim.Cycle
+	Measure   sim.Cycle
+	Timeslice sim.Cycle // consolidated-server gang timeslice
+	Seeds     []uint64
+	Parallel  int // concurrent simulations (independent chips)
+}
+
+// Default returns the standard experiment scale: enough cycles for
+// steady-state caches and several gang timeslices, two seeds for
+// confidence intervals.
+func Default() Config {
+	return Config{
+		Warmup:    400_000,
+		Measure:   900_000,
+		Timeslice: 250_000,
+		Seeds:     []uint64{11, 23},
+		Parallel:  runtime.NumCPU(),
+	}
+}
+
+// Quick returns a reduced scale for smoke testing (-short).
+func Quick() Config {
+	return Config{
+		Warmup:    150_000,
+		Measure:   300_000,
+		Timeslice: 60_000,
+		Seeds:     []uint64{11},
+		Parallel:  runtime.NumCPU(),
+	}
+}
+
+// job is one simulation to run.
+type job struct {
+	wl   string
+	kind core.Kind
+	seed uint64
+	mut  func(*sim.Config) // optional config mutation (e.g. serial PAB)
+	key  string
+}
+
+// runAll executes jobs concurrently and returns metrics keyed by
+// job.key.
+func (c Config) runAll(jobs []job) (map[string][]core.Metrics, error) {
+	type result struct {
+		key string
+		m   core.Metrics
+		err error
+	}
+	par := c.Parallel
+	if par < 1 {
+		par = 1
+	}
+	work := make(chan job)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				wl, err := workload.ByName(j.wl)
+				if err != nil {
+					results <- result{key: j.key, err: err}
+					continue
+				}
+				cfg := sim.DefaultConfig()
+				cfg.TimesliceCycles = c.Timeslice
+				if j.mut != nil {
+					j.mut(cfg)
+				}
+				m, err := core.RunSystem(core.Options{
+					Cfg:      cfg,
+					Kind:     j.kind,
+					Workload: wl,
+					Seed:     j.seed,
+				}, c.Warmup, c.Measure)
+				results <- result{key: j.key, m: m, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			work <- j
+		}
+		close(work)
+		wg.Wait()
+		close(results)
+	}()
+	out := make(map[string][]core.Metrics)
+	var firstErr error
+	for r := range results {
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		out[r.key] = append(out[r.key], r.m)
+	}
+	return out, firstErr
+}
+
+// key builds a deterministic result key.
+func key(wl string, kind core.Kind, variant string) string {
+	if variant == "" {
+		return fmt.Sprintf("%s/%s", wl, kind)
+	}
+	return fmt.Sprintf("%s/%s/%s", wl, kind, variant)
+}
+
+// sampleOf folds a metric extractor over a key's runs.
+func sampleOf(ms []core.Metrics, f func(*core.Metrics) float64) *stats.Sample {
+	s := &stats.Sample{}
+	for i := range ms {
+		s.Add(f(&ms[i]))
+	}
+	return s
+}
+
+// fmtRatio renders a normalized value with its CI when available.
+func fmtRatio(s *stats.Sample) string {
+	if s.N() > 1 {
+		return fmt.Sprintf("%.3f ±%.3f", s.Mean(), s.CI95())
+	}
+	return fmt.Sprintf("%.3f", s.Mean())
+}

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tiny returns a minimal-scale experiment config for tests.
+func tiny() Config {
+	c := Quick()
+	c.Warmup = 60_000
+	c.Measure = 120_000
+	c.Timeslice = 40_000
+	return c
+}
+
+func TestFigure5Shape(t *testing.T) {
+	rows, err := Figure5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.IPCNoDMR2X.Mean() != 1.0 {
+			t.Errorf("%s: baseline not normalized to 1", r.Workload)
+		}
+		if r.IPCReunion.Mean() <= 0 || r.TPReunion.Mean() <= 0 {
+			t.Errorf("%s: Reunion produced nothing", r.Workload)
+		}
+		// Reunion's throughput must be below the 16-thread baseline
+		// (it runs half the VCPUs, each slower) at any scale.
+		if r.TPReunion.Mean() >= 1.0 {
+			t.Errorf("%s: Reunion throughput %.2f >= baseline", r.Workload, r.TPReunion.Mean())
+		}
+	}
+	if Figure5aTable(rows).String() == "" || Figure5bTable(rows).String() == "" {
+		t.Fatal("tables render empty")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	c := tiny()
+	rows, err := Table1(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Enter.Mean() <= 0 || r.Leave.Mean() <= 0 {
+			t.Errorf("%s: missing transitions", r.Workload)
+			continue
+		}
+		// Leave is dominated by the 8192-line flush; Enter is not.
+		if r.Leave.Mean() < 8000 {
+			t.Errorf("%s: leave %.0f < flush floor", r.Workload, r.Leave.Mean())
+		}
+		if r.Enter.Mean() >= r.Leave.Mean() {
+			t.Errorf("%s: enter %.0f >= leave %.0f", r.Workload, r.Enter.Mean(), r.Leave.Mean())
+		}
+	}
+	if Table1Table(rows).String() == "" {
+		t.Fatal("table renders empty")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	// Table 2 measures user/OS phase round trips; the long-burst
+	// workloads (pgbench: 554k user cycles between traps) need windows
+	// the full benchmark provides. Here we use a mid-size window and
+	// validate the short-phase workloads' cadence and shape.
+	c := tiny()
+	c.Measure = 600_000
+	rows, err := Table2(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+	}
+	for _, name := range []string{"apache", "zeus"} {
+		r := byName[name]
+		if r.UserCyc.Mean() <= 0 || r.OSCyc.Mean() <= 0 {
+			t.Errorf("%s: zero cadence at 600k cycles", name)
+		}
+	}
+	// Relative shape: zeus is OS-dominated.
+	if z := byName["zeus"]; z.OSCyc.Mean() <= z.UserCyc.Mean() {
+		t.Error("zeus should spend more cycles in the OS than in user code")
+	}
+	if Table2Table(rows).String() == "" {
+		t.Fatal("table renders empty")
+	}
+}
+
+func TestFaultStudyShape(t *testing.T) {
+	c := tiny()
+	rows, err := FaultStudy(c, "apache", 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if FaultTable(rows).String() == "" {
+		t.Fatal("table renders empty")
+	}
+}
+
+func TestRunAllPropagatesErrors(t *testing.T) {
+	c := tiny()
+	_, err := c.runAll([]job{{wl: "nope", kind: core.KindNoDMR, seed: 1, key: "x"}})
+	if err == nil {
+		t.Fatal("bad workload name not reported")
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if key("apache", core.KindNoDMR, "") != "apache/NoDMR" {
+		t.Fatal(key("apache", core.KindNoDMR, ""))
+	}
+	if key("apache", core.KindNoDMR, "v") != "apache/NoDMR/v" {
+		t.Fatal(key("apache", core.KindNoDMR, "v"))
+	}
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig5Row is one workload's Figure 5 data: per-thread user IPC and
+// total throughput of the three systems, normalized to No DMR 2X.
+type Fig5Row struct {
+	Workload string
+
+	// Figure 5(a): normalized per-thread user IPC.
+	IPCNoDMR2X *stats.Sample // 1.0 by construction
+	IPCNoDMR   *stats.Sample
+	IPCReunion *stats.Sample
+
+	// Figure 5(b): normalized throughput.
+	TPNoDMR   *stats.Sample
+	TPReunion *stats.Sample
+}
+
+// Figure5 reproduces Figure 5: the DMR performance comparison. The
+// paper's bands: No DMR observes 8–15% higher per-thread IPC than
+// No DMR 2X; Reunion observes 22–48% lower; No DMR throughput is about
+// half of No DMR 2X and Reunion's is one quarter to one third.
+func Figure5(c Config) ([]Fig5Row, error) {
+	kinds := []core.Kind{core.KindNoDMR2X, core.KindNoDMR, core.KindReunion}
+	var jobs []job
+	for _, wl := range workload.Names() {
+		for _, k := range kinds {
+			for _, seed := range c.Seeds {
+				jobs = append(jobs, job{wl: wl, kind: k, seed: seed, key: key(wl, k, "")})
+			}
+		}
+	}
+	res, err := c.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig5Row
+	for _, wl := range workload.Names() {
+		base := res[key(wl, core.KindNoDMR2X, "")]
+		nod := res[key(wl, core.KindNoDMR, "")]
+		reu := res[key(wl, core.KindReunion, "")]
+		baseIPC := sampleOf(base, func(m *core.Metrics) float64 { return m.UserIPC("app") }).Mean()
+		baseTP := sampleOf(base, func(m *core.Metrics) float64 { return m.TotalThroughput() }).Mean()
+		row := Fig5Row{
+			Workload:   wl,
+			IPCNoDMR2X: sampleOf(base, func(m *core.Metrics) float64 { return stats.Ratio(m.UserIPC("app"), baseIPC) }),
+			IPCNoDMR:   sampleOf(nod, func(m *core.Metrics) float64 { return stats.Ratio(m.UserIPC("app"), baseIPC) }),
+			IPCReunion: sampleOf(reu, func(m *core.Metrics) float64 { return stats.Ratio(m.UserIPC("app"), baseIPC) }),
+			TPNoDMR:    sampleOf(nod, func(m *core.Metrics) float64 { return stats.Ratio(m.TotalThroughput(), baseTP) }),
+			TPReunion:  sampleOf(reu, func(m *core.Metrics) float64 { return stats.Ratio(m.TotalThroughput(), baseTP) }),
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure5aTable renders Figure 5(a).
+func Figure5aTable(rows []Fig5Row) *stats.Table {
+	t := &stats.Table{
+		Title:   "Figure 5(a): Normalized Per-thread User IPC (vs No DMR 2X)",
+		Columns: []string{"workload", "NoDMR2X", "NoDMR", "Reunion", "paper: NoDMR +8-15%, Reunion -22-48%"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload, fmtRatio(r.IPCNoDMR2X), fmtRatio(r.IPCNoDMR), fmtRatio(r.IPCReunion), "")
+	}
+	return t
+}
+
+// Figure5bTable renders Figure 5(b).
+func Figure5bTable(rows []Fig5Row) *stats.Table {
+	t := &stats.Table{
+		Title:   "Figure 5(b): Normalized Throughput (vs No DMR 2X)",
+		Columns: []string{"workload", "NoDMR", "Reunion", "paper: NoDMR ~0.5, Reunion ~0.25-0.33"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload, fmtRatio(r.TPNoDMR), fmtRatio(r.TPReunion), "")
+	}
+	return t
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig6Row is one workload's Figure 6 data for the mixed-mode
+// consolidated server: per-thread user IPC and throughput of the
+// reliable and performance guest VMs under DMR-base, MMM-IPC and
+// MMM-TP, normalized to DMR-base.
+type Fig6Row struct {
+	Workload string
+
+	// Figure 6(a): per-thread user IPC, normalized to the DMR-base
+	// value of the same guest.
+	IPCPerfIPC *stats.Sample // performance VM under MMM-IPC
+	IPCPerfTP  *stats.Sample // performance VM under MMM-TP
+	IPCRelIPC  *stats.Sample // reliable VM under MMM-IPC
+	IPCRelTP   *stats.Sample // reliable VM under MMM-TP
+
+	// Figure 6(b): throughput normalized to the whole DMR-base system.
+	TPPerfIPC  *stats.Sample
+	TPPerfTP   *stats.Sample
+	TPTotalIPC *stats.Sample // whole machine, MMM-IPC
+	TPTotalTP  *stats.Sample // whole machine, MMM-TP
+}
+
+// Figure6 reproduces Figure 6: mixed-mode performance on a
+// consolidated server with one reliable and one performance guest.
+// Paper bands: the performance VM speeds up 25–85% (MMM-IPC) and
+// 24–67% (MMM-TP) per-thread; the reliable VM is essentially unchanged
+// (pgoltp −6.5%); MMM-TP's performance VM gains 2.4–3.6x throughput
+// and the whole machine 1.7–2.3x.
+func Figure6(c Config) ([]Fig6Row, error) {
+	kinds := []core.Kind{core.KindDMRBase, core.KindMMMIPC, core.KindMMMTP}
+	var jobs []job
+	for _, wl := range workload.Names() {
+		for _, k := range kinds {
+			for _, seed := range c.Seeds {
+				jobs = append(jobs, job{wl: wl, kind: k, seed: seed, key: key(wl, k, "")})
+			}
+		}
+	}
+	res, err := c.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	perfIPC := func(m *core.Metrics) float64 { return m.UserIPC("perf") }
+	relIPC := func(m *core.Metrics) float64 { return m.UserIPC("reliable") }
+	var rows []Fig6Row
+	for _, wl := range workload.Names() {
+		base := res[key(wl, core.KindDMRBase, "")]
+		ipc := res[key(wl, core.KindMMMIPC, "")]
+		tp := res[key(wl, core.KindMMMTP, "")]
+		basePerf := sampleOf(base, perfIPC).Mean()
+		baseRel := sampleOf(base, relIPC).Mean()
+		basePerfTP := sampleOf(base, func(m *core.Metrics) float64 { return m.Throughput("perf") }).Mean()
+		baseTotTP := sampleOf(base, func(m *core.Metrics) float64 { return m.TotalThroughput() }).Mean()
+		rows = append(rows, Fig6Row{
+			Workload:   wl,
+			IPCPerfIPC: sampleOf(ipc, func(m *core.Metrics) float64 { return stats.Ratio(perfIPC(m), basePerf) }),
+			IPCPerfTP:  sampleOf(tp, func(m *core.Metrics) float64 { return stats.Ratio(perfIPC(m), basePerf) }),
+			IPCRelIPC:  sampleOf(ipc, func(m *core.Metrics) float64 { return stats.Ratio(relIPC(m), baseRel) }),
+			IPCRelTP:   sampleOf(tp, func(m *core.Metrics) float64 { return stats.Ratio(relIPC(m), baseRel) }),
+			TPPerfIPC:  sampleOf(ipc, func(m *core.Metrics) float64 { return stats.Ratio(m.Throughput("perf"), basePerfTP) }),
+			TPPerfTP:   sampleOf(tp, func(m *core.Metrics) float64 { return stats.Ratio(m.Throughput("perf"), basePerfTP) }),
+			TPTotalIPC: sampleOf(ipc, func(m *core.Metrics) float64 { return stats.Ratio(m.TotalThroughput(), baseTotTP) }),
+			TPTotalTP:  sampleOf(tp, func(m *core.Metrics) float64 { return stats.Ratio(m.TotalThroughput(), baseTotTP) }),
+		})
+	}
+	return rows, nil
+}
+
+// Figure6aTable renders Figure 6(a).
+func Figure6aTable(rows []Fig6Row) *stats.Table {
+	t := &stats.Table{
+		Title: "Figure 6(a): Consolidated-server per-thread user IPC, normalized to DMR-base",
+		Columns: []string{"workload", "perf@MMM-IPC", "perf@MMM-TP", "rel@MMM-IPC", "rel@MMM-TP",
+			"paper: perf +25-85% (IPC) / +24-67% (TP), rel ~1.0"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload, fmtRatio(r.IPCPerfIPC), fmtRatio(r.IPCPerfTP),
+			fmtRatio(r.IPCRelIPC), fmtRatio(r.IPCRelTP), "")
+	}
+	return t
+}
+
+// Figure6bTable renders Figure 6(b).
+func Figure6bTable(rows []Fig6Row) *stats.Table {
+	t := &stats.Table{
+		Title: "Figure 6(b): Consolidated-server throughput, normalized to DMR-base",
+		Columns: []string{"workload", "perfVM@MMM-IPC", "perfVM@MMM-TP", "total@MMM-IPC", "total@MMM-TP",
+			"paper: perfVM@TP 2.4-3.6x, total@TP 1.7-2.3x"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload, fmtRatio(r.TPPerfIPC), fmtRatio(r.TPPerfTP),
+			fmtRatio(r.TPTotalIPC), fmtRatio(r.TPTotalTP), "")
+	}
+	return t
+}

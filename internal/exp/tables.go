@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Table1Row holds one workload's mode-switching overheads (cycles),
+// measured from MMM-TP as the paper does.
+type Table1Row struct {
+	Workload string
+	Enter    *stats.Sample
+	Leave    *stats.Sample
+}
+
+// Table1 reproduces Table 1: the average per-VCPU cost of entering and
+// leaving DMR mode under MMM-TP. Paper values: Enter ≈ 2.2–2.4k
+// cycles; Leave ≈ 9.9–10.4k cycles (≈8k of which is the line-by-line
+// L2 flush).
+func Table1(c Config) ([]Table1Row, error) {
+	var jobs []job
+	for _, wl := range workload.Names() {
+		for _, seed := range c.Seeds {
+			jobs = append(jobs, job{wl: wl, kind: core.KindMMMTP, seed: seed, key: key(wl, core.KindMMMTP, "")})
+		}
+	}
+	res, err := c.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for _, wl := range workload.Names() {
+		ms := res[key(wl, core.KindMMMTP, "")]
+		rows = append(rows, Table1Row{
+			Workload: wl,
+			Enter:    sampleOf(ms, func(m *core.Metrics) float64 { return m.EnterAvg }),
+			Leave:    sampleOf(ms, func(m *core.Metrics) float64 { return m.LeaveAvg }),
+		})
+	}
+	return rows, nil
+}
+
+// Table1Table renders Table 1.
+func Table1Table(rows []Table1Row) *stats.Table {
+	t := &stats.Table{
+		Title:   "Table 1: Mixed-Mode Switching Overheads (cycles, MMM-TP)",
+		Columns: []string{"workload", "Enter DMR", "Leave DMR", "paper: enter 2.2-2.4k, leave 9.9-10.4k"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload,
+			fmt.Sprintf("%.0f", r.Enter.Mean()),
+			fmt.Sprintf("%.0f", r.Leave.Mean()), "")
+	}
+	return t
+}
+
+// Table2Row holds one workload's single-OS switching cadence.
+type Table2Row struct {
+	Workload  string
+	UserCyc   *stats.Sample
+	OSCyc     *stats.Sample
+	PaperUser float64
+	PaperOS   float64
+}
+
+// paperTable2 holds the cycle counts the paper reports in Table 2.
+var paperTable2 = map[string][2]float64{
+	"apache":  {59_000, 98_000},
+	"oltp":    {218_000, 52_000},
+	"pgoltp":  {210_000, 35_000},
+	"pmake":   {312_000, 47_000},
+	"pgbench": {554_000, 126_000},
+	"zeus":    {65_000, 220_000},
+}
+
+// Table2 reproduces Table 2: the average number of cycles a thread of
+// the baseline (non-DMR) system spends in user mode before entering
+// the OS, and in the OS before returning, per workload.
+func Table2(c Config) ([]Table2Row, error) {
+	var jobs []job
+	for _, wl := range workload.Names() {
+		for _, seed := range c.Seeds {
+			jobs = append(jobs, job{wl: wl, kind: core.KindNoDMR, seed: seed, key: key(wl, core.KindNoDMR, "")})
+		}
+	}
+	res, err := c.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, wl := range workload.Names() {
+		ms := res[key(wl, core.KindNoDMR, "")]
+		p := paperTable2[wl]
+		rows = append(rows, Table2Row{
+			Workload:  wl,
+			UserCyc:   sampleOf(ms, func(m *core.Metrics) float64 { return m.UserCycPerSwitch }),
+			OSCyc:     sampleOf(ms, func(m *core.Metrics) float64 { return m.OSCycPerSwitch }),
+			PaperUser: p[0],
+			PaperOS:   p[1],
+		})
+	}
+	return rows, nil
+}
+
+// Table2Table renders Table 2.
+func Table2Table(rows []Table2Row) *stats.Table {
+	t := &stats.Table{
+		Title:   "Table 2: Cycles Before Switching Modes for Single-OS",
+		Columns: []string{"workload", "User Cycles", "OS Cycles", "paper User", "paper OS"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload,
+			fmt.Sprintf("%.0fk", r.UserCyc.Mean()/1000),
+			fmt.Sprintf("%.0fk", r.OSCyc.Mean()/1000),
+			fmt.Sprintf("%.0fk", r.PaperUser/1000),
+			fmt.Sprintf("%.0fk", r.PaperOS/1000))
+	}
+	return t
+}

@@ -1,0 +1,136 @@
+// Package fault injects hardware faults into the simulated chip and
+// keeps score of what was detected, corrected, prevented, or silently
+// corrupted. The three injected manifestations cover the fault classes
+// the paper's protection mechanisms target:
+//
+//   - execution-result corruption: caught by Reunion's fingerprint
+//     comparison when the core runs in DMR mode;
+//   - TLB array corruption (a flipped physical-page bit): the class
+//     that lets even correct software write physical addresses it does
+//     not own — caught by the PAB when the core runs in performance
+//     mode;
+//   - privileged-register corruption during performance mode: caught by
+//     the mute's redundant copy verification on Enter-DMR.
+package fault
+
+import "repro/internal/sim"
+
+// Kind is a fault manifestation.
+type Kind uint8
+
+const (
+	// ResultFlip flips a bit in an instruction's execution result.
+	ResultFlip Kind = iota
+	// TLBFlip flips a bit of a cached translation's physical page.
+	TLBFlip
+	// PrivRegFlip flips a bit in a privileged register.
+	PrivRegFlip
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case ResultFlip:
+		return "result-flip"
+	case TLBFlip:
+		return "tlb-flip"
+	case PrivRegFlip:
+		return "privreg-flip"
+	default:
+		return "?"
+	}
+}
+
+// Target is the chip surface the injector corrupts. It is implemented
+// by the core (MMM) package.
+type Target interface {
+	// NumCores returns the number of physical cores.
+	NumCores() int
+	// CorruptResult arranges for the next instruction executed on core
+	// to produce a flipped result.
+	CorruptResult(core int, mask uint64)
+	// CorruptTLB flips a bit in a live TLB translation on core,
+	// returning false if the core had no suitable entry.
+	CorruptTLB(core int, bit uint) bool
+	// CorruptPrivReg flips a bit in a privileged register of the VCPU
+	// currently running on core, returning false if the core is idle.
+	CorruptPrivReg(core int, reg int, bit uint) bool
+}
+
+// Plan configures an injection campaign.
+type Plan struct {
+	// MeanInterval is the mean number of cycles between faults
+	// (exponentially distributed).
+	MeanInterval float64
+	// Kinds enables specific manifestations; empty enables all.
+	Kinds []Kind
+	// Seed makes the campaign reproducible.
+	Seed uint64
+}
+
+// Injector drives a Plan against a Target.
+type Injector struct {
+	plan  Plan
+	rng   *sim.Rand
+	next  sim.Cycle
+	kinds []Kind
+
+	Injected map[Kind]uint64
+	Misses   uint64 // injection attempts with no viable target
+}
+
+// NewInjector creates an injector; the first fault fires after one
+// sampled interval.
+func NewInjector(plan Plan) *Injector {
+	if len(plan.Kinds) == 0 {
+		plan.Kinds = []Kind{ResultFlip, TLBFlip, PrivRegFlip}
+	}
+	inj := &Injector{
+		plan:     plan,
+		rng:      sim.NewRand(plan.Seed ^ 0xfa017),
+		kinds:    plan.Kinds,
+		Injected: make(map[Kind]uint64),
+	}
+	inj.next = sim.Cycle(inj.rng.Geometric(plan.MeanInterval))
+	return inj
+}
+
+// Tick fires any due fault at the given cycle.
+func (inj *Injector) Tick(now sim.Cycle, t Target) {
+	for now >= inj.next {
+		inj.inject(t)
+		inj.next += sim.Cycle(inj.rng.Geometric(inj.plan.MeanInterval))
+	}
+}
+
+func (inj *Injector) inject(t Target) {
+	kind := inj.kinds[inj.rng.Intn(len(inj.kinds))]
+	core := inj.rng.Intn(t.NumCores())
+	switch kind {
+	case ResultFlip:
+		mask := uint64(1) << uint(inj.rng.Intn(64))
+		t.CorruptResult(core, mask)
+		inj.Injected[kind]++
+	case TLBFlip:
+		if t.CorruptTLB(core, uint(inj.rng.Intn(20))) {
+			inj.Injected[kind]++
+		} else {
+			inj.Misses++
+		}
+	case PrivRegFlip:
+		if t.CorruptPrivReg(core, inj.rng.Intn(64), uint(inj.rng.Intn(64))) {
+			inj.Injected[kind]++
+		} else {
+			inj.Misses++
+		}
+	}
+}
+
+// Total returns the number of injected faults.
+func (inj *Injector) Total() uint64 {
+	var n uint64
+	for _, v := range inj.Injected {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"testing"
+)
+
+// mockTarget records injections.
+type mockTarget struct {
+	cores   int
+	results int
+	tlbs    int
+	privs   int
+	tlbOK   bool
+	privOK  bool
+}
+
+func (m *mockTarget) NumCores() int { return m.cores }
+func (m *mockTarget) CorruptResult(core int, mask uint64) {
+	if core < 0 || core >= m.cores || mask == 0 {
+		panic("bad injection")
+	}
+	m.results++
+}
+func (m *mockTarget) CorruptTLB(core int, bit uint) bool {
+	m.tlbs++
+	return m.tlbOK
+}
+func (m *mockTarget) CorruptPrivReg(core, reg int, bit uint) bool {
+	m.privs++
+	return m.privOK
+}
+
+func TestInjectionRate(t *testing.T) {
+	inj := NewInjector(Plan{MeanInterval: 1000, Seed: 3})
+	tg := &mockTarget{cores: 16, tlbOK: true, privOK: true}
+	for now := uint64(0); now < 1_000_000; now += 10 {
+		inj.Tick(now, tg)
+	}
+	total := inj.Total()
+	// Expect ~1000 injections; allow wide tolerance.
+	if total < 600 || total > 1600 {
+		t.Fatalf("injected %d faults over 1M cycles at mean interval 1000", total)
+	}
+	if len(inj.Injected) == 0 {
+		t.Fatal("no kinds recorded")
+	}
+}
+
+func TestKindRestriction(t *testing.T) {
+	inj := NewInjector(Plan{MeanInterval: 100, Seed: 5, Kinds: []Kind{ResultFlip}})
+	tg := &mockTarget{cores: 4}
+	for now := uint64(0); now < 100_000; now++ {
+		inj.Tick(now, tg)
+	}
+	if tg.tlbs != 0 || tg.privs != 0 {
+		t.Fatal("restricted plan injected other kinds")
+	}
+	if tg.results == 0 {
+		t.Fatal("no result flips injected")
+	}
+}
+
+func TestMissesCounted(t *testing.T) {
+	inj := NewInjector(Plan{MeanInterval: 50, Seed: 7, Kinds: []Kind{TLBFlip, PrivRegFlip}})
+	tg := &mockTarget{cores: 4} // both injection surfaces refuse
+	for now := uint64(0); now < 50_000; now++ {
+		inj.Tick(now, tg)
+	}
+	if inj.Misses == 0 {
+		t.Fatal("refused injections not counted as misses")
+	}
+	if inj.Total() != 0 {
+		t.Fatal("refused injections counted as injected")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int, int, int) {
+		inj := NewInjector(Plan{MeanInterval: 500, Seed: 42})
+		tg := &mockTarget{cores: 8, tlbOK: true, privOK: true}
+		for now := uint64(0); now < 200_000; now++ {
+			inj.Tick(now, tg)
+		}
+		return tg.results, tg.tlbs, tg.privs
+	}
+	a1, b1, c1 := run()
+	a2, b2, c2 := run()
+	if a1 != a2 || b1 != b2 || c1 != c2 {
+		t.Fatal("fault campaign not reproducible")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{ResultFlip, TLBFlip, PrivRegFlip} {
+		if k.String() == "?" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+}

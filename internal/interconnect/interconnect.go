@@ -1,0 +1,79 @@
+// Package interconnect models the on-chip networks of the target
+// multicore: the point-to-point data/coherence network with an average
+// 10-cycle latency, and the dedicated fingerprint network (also
+// 10 cycles) that Reunion pairs use to exchange check-stage
+// fingerprints without perturbing the coherence traffic.
+package interconnect
+
+import "repro/internal/sim"
+
+// Network is the point-to-point coherence/data interconnect. Latency is
+// the paper's average hop latency; congestion is modeled by per-endpoint
+// occupancy: each message holds its source and destination ports for a
+// configurable number of cycles, so bursts queue up rather than
+// teleport.
+type Network struct {
+	hopLat   sim.Cycle
+	portBusy sim.Cycle
+	ports    []sim.Cycle // next free cycle per endpoint
+
+	Messages uint64
+	Queued   uint64
+}
+
+// NewNetwork creates a network with endpoints numbered [0, endpoints).
+// Endpoint numbering is up to the caller (cores, L3 banks, memory
+// controllers).
+func NewNetwork(endpoints int, hopLat, portBusy sim.Cycle) *Network {
+	return &Network{
+		hopLat:   hopLat,
+		portBusy: portBusy,
+		ports:    make([]sim.Cycle, endpoints),
+	}
+}
+
+// HopLat returns the configured single-hop latency.
+func (n *Network) HopLat() sim.Cycle { return n.hopLat }
+
+// Send models one message from src to dst injected at cycle now and
+// returns its arrival cycle. Port contention at both endpoints delays
+// injection.
+func (n *Network) Send(src, dst int, now sim.Cycle) sim.Cycle {
+	n.Messages++
+	start := now
+	if n.ports[src] > start {
+		start = n.ports[src]
+		n.Queued++
+	}
+	if n.ports[dst] > start {
+		start = n.ports[dst]
+	}
+	n.ports[src] = start + n.portBusy
+	n.ports[dst] = start + n.portBusy
+	return start + n.hopLat
+}
+
+// FingerprintLink is the dedicated fingerprint network between the two
+// cores of a Reunion pair. It is private to the pair, so there is no
+// port contention with coherence traffic; a fingerprint sent at cycle t
+// is visible to the partner at t + latency.
+type FingerprintLink struct {
+	lat sim.Cycle
+
+	Sent uint64
+}
+
+// NewFingerprintLink creates a link with the given one-way latency.
+func NewFingerprintLink(lat sim.Cycle) *FingerprintLink {
+	return &FingerprintLink{lat: lat}
+}
+
+// Deliver returns the cycle at which a fingerprint sent at cycle now is
+// visible at the other core.
+func (l *FingerprintLink) Deliver(now sim.Cycle) sim.Cycle {
+	l.Sent++
+	return now + l.lat
+}
+
+// Latency returns the one-way link latency.
+func (l *FingerprintLink) Latency() sim.Cycle { return l.lat }

@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassLatencies(t *testing.T) {
+	if ALU.Latency() != 1 || Div.Latency() <= Mul.Latency() {
+		t.Fatal("unexpected latency ordering")
+	}
+	for c := ALU; c <= Nop; c++ {
+		if c.Latency() == 0 {
+			t.Fatalf("class %v has zero latency", c)
+		}
+		if c.String() == "?" {
+			t.Fatalf("class %d has no mnemonic", c)
+		}
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() {
+		t.Fatal("loads and stores access memory")
+	}
+	if ALU.IsMem() || Branch.IsMem() || Serializing.IsMem() {
+		t.Fatal("non-memory class reports IsMem")
+	}
+}
+
+func TestFingerprintDeterminism(t *testing.T) {
+	in := Inst{Seq: 5, PC: 0x1000, Class: Store, VA: 0xdead0, Result: 42, Taken: true}
+	cp := in
+	if in.Fingerprint() != cp.Fingerprint() {
+		t.Fatal("identical instructions must fingerprint identically")
+	}
+}
+
+// TestFingerprintSensitivity is the property Reunion's detection relies
+// on: flipping any single bit of an instruction's architecturally
+// visible outputs changes the fingerprint.
+func TestFingerprintSensitivity(t *testing.T) {
+	err := quick.Check(func(seq, pc, va, result uint64, bit uint8) bool {
+		in := Inst{Seq: seq, PC: pc, Class: ALU, VA: va, Result: result}
+		base := in.Fingerprint()
+		in.Result ^= 1 << (bit % 64)
+		return in.Fingerprint() != base
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintAddressSensitivity(t *testing.T) {
+	err := quick.Check(func(va uint64, bit uint8) bool {
+		in := Inst{Seq: 1, PC: 4, Class: Store, VA: va, Result: 7}
+		base := in.Fingerprint()
+		in.VA ^= 1 << (bit % 64)
+		return in.Fingerprint() != base
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombineFingerprintsOrderSensitive(t *testing.T) {
+	a, b := uint64(111), uint64(222)
+	ab := CombineFingerprints(CombineFingerprints(0, a), b)
+	ba := CombineFingerprints(CombineFingerprints(0, b), a)
+	if ab == ba {
+		t.Fatal("interval fingerprint should be order sensitive")
+	}
+}
+
+func TestRegFileSize(t *testing.T) {
+	var r RegFile
+	if r.Bytes() < 2048 || r.Bytes() > 4096 {
+		t.Fatalf("architectural state should be ~2.3KB, got %d bytes", r.Bytes())
+	}
+}
+
+func TestRegFilePrivComparison(t *testing.T) {
+	var a, b RegFile
+	a.Priv[3] = 7
+	b.Priv[3] = 7
+	if !a.EqualPriv(&b) {
+		t.Fatal("equal privileged state should compare equal")
+	}
+	b.Priv[3] ^= 1 << 40
+	if a.EqualPriv(&b) {
+		t.Fatal("corrupted privileged register not detected")
+	}
+	if a.HashPriv() == b.HashPriv() {
+		t.Fatal("privileged hash insensitive to corruption")
+	}
+}
+
+func TestRegFileHashCoversAll(t *testing.T) {
+	var a RegFile
+	base := a.Hash()
+	a.GPR[0] = 1
+	if a.Hash() == base {
+		t.Fatal("hash insensitive to GPR")
+	}
+	a = RegFile{}
+	a.FPR[63] = 1
+	if a.Hash() == base {
+		t.Fatal("hash insensitive to FPR")
+	}
+	a = RegFile{}
+	a.PC = 4
+	if a.Hash() == base {
+		t.Fatal("hash insensitive to PC")
+	}
+}
+
+func TestRegFileCopyIsDeep(t *testing.T) {
+	var a RegFile
+	a.GPR[5] = 9
+	b := a.Copy()
+	b.GPR[5] = 1
+	if a.GPR[5] != 9 {
+		t.Fatal("Copy aliases the original")
+	}
+	if !a.Equal(&a) {
+		t.Fatal("Equal self")
+	}
+	if a.Equal(&b) {
+		t.Fatal("Equal after divergence")
+	}
+}

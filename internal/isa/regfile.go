@@ -1,0 +1,75 @@
+package isa
+
+// Architectural register state sizes. SPARC V9 with register windows
+// carries roughly 2.3 KB of architectural state per virtual CPU (the
+// figure the paper uses when bounding the dirty scratchpad footprint of
+// a mode switch); we model that as general-purpose windows plus a
+// privileged register file.
+const (
+	// NumGPR is the number of general-purpose registers including
+	// windowed registers (8 windows x 16 + 32 visible).
+	NumGPR = 160
+	// NumFPR is the number of floating-point registers.
+	NumFPR = 64
+	// NumPriv is the number of privileged registers (trap state,
+	// condition codes, ASIs, timers, MMU context, ...).
+	NumPriv = 64
+)
+
+// RegFile is the full architectural register state of one VCPU.
+// It is the unit that the mode-transition state machine saves to and
+// restores from the scratchpad space, and that the mute core verifies
+// against its own redundant copy when a pair enters DMR mode.
+type RegFile struct {
+	GPR  [NumGPR]uint64
+	FPR  [NumFPR]uint64
+	Priv [NumPriv]uint64
+	PC   uint64
+	NPC  uint64
+}
+
+// Bytes returns the architectural state size in bytes (~2.3 KB).
+func (r *RegFile) Bytes() int {
+	return 8 * (NumGPR + NumFPR + NumPriv + 2)
+}
+
+// Copy returns a deep copy of the register file.
+func (r *RegFile) Copy() RegFile { return *r }
+
+// EqualPriv reports whether the privileged state of two register files
+// matches. The mute core performs exactly this check when entering DMR
+// mode, to detect privileged-register corruption that occurred while
+// the vocal ran unprotected in performance mode.
+func (r *RegFile) EqualPriv(o *RegFile) bool {
+	return r.Priv == o.Priv
+}
+
+// Equal reports whether all architectural state matches.
+func (r *RegFile) Equal(o *RegFile) bool {
+	return r.GPR == o.GPR && r.FPR == o.FPR && r.Priv == o.Priv &&
+		r.PC == o.PC && r.NPC == o.NPC
+}
+
+// Hash produces a fingerprint of the register file, used to validate a
+// restored state image against the copy saved to the scratchpad.
+func (r *RegFile) Hash() uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range r.GPR {
+		h = fnvMix(h, v)
+	}
+	for _, v := range r.FPR {
+		h = fnvMix(h, v)
+	}
+	h = fnvMix(h, r.PC)
+	h = fnvMix(h, r.NPC)
+	return r.HashPriv() ^ h
+}
+
+// HashPriv fingerprints only the privileged registers.
+func (r *RegFile) HashPriv() uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range r.Priv {
+		h = fnvMix(h, v)
+	}
+	return h
+}

@@ -1,0 +1,285 @@
+// Package pab implements the paper's memory-protection contribution:
+// the Protection Assistance Table (PAT) and the per-core Protection
+// Assistance Buffer (PAB).
+//
+// The PAT is an inverse page table maintained by system software in
+// cacheable physical memory: one bit per 8 KB physical page, set when
+// the page may only be written by software executing in reliable mode.
+// At one bit per page it costs 16 MB per TB of physical memory.
+//
+// The PAB is a small hardware cache of PAT entries attached to each
+// core, organized like a cache: physically indexed and tagged, each
+// entry holding one 64-byte line of PAT bits (so one entry covers
+// 64 B x 8 pages/B x 8 KB = 4 MB of physical memory; the paper's
+// 128-entry PAB maps 512 MB at 8.2 KB of storage). When a core runs in
+// performance (non-DMR) mode, every store write-through re-validates
+// its physical address against the PAB before (serial) or in parallel
+// with the L2 access. The PAB and TLB thus provide redundancy for each
+// other: a fault in either raises an exception before corruption
+// occurs. On a TLB demap the PAB entry covering the demapped physical
+// page is invalidated.
+package pab
+
+import (
+	"repro/internal/cache"
+	"repro/internal/paging"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+const (
+	patLineBytes = 64
+	// pagesPerLine is how many pages one PAT line covers: 64 bytes of
+	// 1-bit entries.
+	pagesPerLine = patLineBytes * 8
+)
+
+// Table is the PAT: the in-memory, system-software-maintained bit
+// array. It is backed by a physical allocation so that PAB refills are
+// real memory traffic.
+type Table struct {
+	bits      []uint64
+	base      uint64 // physical base address of the PAT
+	pageShift uint
+	pages     uint64
+
+	Updates uint64
+}
+
+// NewTable allocates the PAT for the physical memory described by pm
+// and initializes every bit from the current ownership map (pages owned
+// by a performance domain are writable in performance mode; everything
+// else is reliable-only).
+func NewTable(pm *paging.PhysMap) *Table {
+	pages := pm.Pages()
+	t := &Table{
+		bits:      make([]uint64, (pages+63)/64),
+		pageShift: pm.PageShift(),
+		pages:     pages,
+	}
+	// Reserve physical memory for the PAT itself (system-owned).
+	patBytes := pages / 8
+	patPages := (patBytes + (1 << t.pageShift) - 1) >> t.pageShift
+	if patPages == 0 {
+		patPages = 1
+	}
+	t.base = pm.Alloc(patPages, paging.DomainSystem, -1) << t.pageShift
+	for p := uint64(0); p < pages; p++ {
+		t.set(p, pm.ReliableOnly(p))
+	}
+	return t
+}
+
+func (t *Table) set(ppage uint64, reliableOnly bool) {
+	if reliableOnly {
+		t.bits[ppage/64] |= 1 << (ppage % 64)
+	} else {
+		t.bits[ppage/64] &^= 1 << (ppage % 64)
+	}
+}
+
+// ReliableOnly reads the PAT bit for a physical page.
+func (t *Table) ReliableOnly(ppage uint64) bool {
+	if ppage >= t.pages {
+		return true // out-of-range physical addresses are never writable
+	}
+	return t.bits[ppage/64]&(1<<(ppage%64)) != 0
+}
+
+// Update is the system-software path: it rewrites the PAT bit for a
+// physical page (called whenever the page table changes, e.g. on a
+// page fault or remap) and returns the physical address of the PAT
+// line that changed so callers can invalidate PAB copies.
+func (t *Table) Update(ppage uint64, reliableOnly bool) (patLine uint64) {
+	t.Updates++
+	t.set(ppage, reliableOnly)
+	return t.LineAddr(ppage)
+}
+
+// LineAddr returns the physical address of the PAT line holding the
+// bit for ppage.
+func (t *Table) LineAddr(ppage uint64) uint64 {
+	return t.base + (ppage/pagesPerLine)*patLineBytes
+}
+
+// Base returns the PAT's physical base address.
+func (t *Table) Base() uint64 { return t.base }
+
+// entry is one PAB entry: a cached PAT line.
+type entry struct {
+	valid bool
+	line  uint64 // physical address of the cached PAT line
+	lru   uint64
+}
+
+// PAB is one core's Protection Assistance Buffer. It implements
+// cpu.StoreGuard.
+type PAB struct {
+	cfg   *sim.Config
+	table *Table
+	hier  *cache.Hierarchy
+	core  int
+
+	sets    int
+	ways    int
+	entries []entry
+	tick    uint64
+
+	// Enabled gates enforcement: when false the PAB still models an
+	// oracle that counts would-be violations (used by the
+	// fault-injection experiments to show what corruption the PAB
+	// prevents) but raises no exception.
+	Enabled bool
+	// Serial selects the 2-cycle serial lookup instead of the
+	// parallel-with-L2 lookup (the Section 5.2 design study).
+	Serial bool
+
+	C stats.CoreCounters // PABChecks / PABMisses / PABExceptions
+
+	// WouldCorrupt counts stores that violated the PAT while
+	// enforcement was disabled.
+	WouldCorrupt uint64
+}
+
+// New creates the PAB for one core.
+func New(cfg *sim.Config, t *Table, hier *cache.Hierarchy, core int) *PAB {
+	ways := 4
+	if cfg.PABEntries < ways {
+		ways = cfg.PABEntries
+	}
+	sets := cfg.PABEntries / ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic("pab: entry count must give a power-of-two set count")
+	}
+	return &PAB{
+		cfg:     cfg,
+		table:   t,
+		hier:    hier,
+		core:    core,
+		sets:    sets,
+		ways:    ways,
+		entries: make([]entry, cfg.PABEntries),
+		Enabled: true,
+		Serial:  cfg.PABSerial,
+	}
+}
+
+func (p *PAB) setOf(line uint64) int {
+	return int((line / patLineBytes) % uint64(p.sets))
+}
+
+// lookup finds the PAB entry caching the PAT line, refreshing LRU.
+func (p *PAB) lookup(line uint64) *entry {
+	base := p.setOf(line) * p.ways
+	for i := 0; i < p.ways; i++ {
+		e := &p.entries[base+i]
+		if e.valid && e.line == line {
+			p.tick++
+			e.lru = p.tick
+			return e
+		}
+	}
+	return nil
+}
+
+// fill installs a PAT line, evicting LRU.
+func (p *PAB) fill(line uint64) {
+	base := p.setOf(line) * p.ways
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for i := 0; i < p.ways; i++ {
+		e := &p.entries[base+i]
+		if !e.valid {
+			victim = base + i
+			break
+		}
+		if e.lru < oldest {
+			oldest = e.lru
+			victim = base + i
+		}
+	}
+	p.tick++
+	p.entries[victim] = entry{valid: true, line: line, lru: p.tick}
+}
+
+// CheckStore re-validates a performance-mode store's permission
+// (cpu.StoreGuard). It returns the extra store latency (serial lookup
+// and/or PAT refill on a PAB miss) and whether the store violates the
+// PAT and must raise an exception before reaching the L2.
+func (p *PAB) CheckStore(core int, pa uint64, now sim.Cycle) (sim.Cycle, bool) {
+	p.C.PABChecks++
+	ppage := pa >> p.table.pageShift
+	if !p.Enabled {
+		// Oracle mode (ablation): observe what the PAB would have
+		// prevented, at no cost and with no protection.
+		if p.table.ReliableOnly(ppage) {
+			p.WouldCorrupt++
+		}
+		return 0, false
+	}
+	line := p.table.LineAddr(ppage)
+	extra := sim.Cycle(0)
+	if p.Serial {
+		extra += p.cfg.PABSerialLat
+	}
+	if p.lookup(line) == nil {
+		// PAB miss: fetch the PAT line through the memory hierarchy
+		// (it resides in cacheable memory) and install it.
+		p.C.PABMisses++
+		ready, _ := p.hier.Load(p.core, line, now+extra)
+		extra = ready - now
+		p.fill(line)
+	}
+	if !p.table.ReliableOnly(ppage) {
+		return extra, false
+	}
+	// Violation: the physical page is reliable-only.
+	if !p.Enabled {
+		p.WouldCorrupt++
+		return extra, false
+	}
+	p.C.PABExceptions++
+	return extra, true
+}
+
+// InvalidateForPage drops the PAB entry covering a demapped physical
+// page (the TLB-demap coherence rule). Wire it to paging.TLB.OnDemap.
+func (p *PAB) InvalidateForPage(ppage uint64) {
+	line := p.table.LineAddr(ppage)
+	base := p.setOf(line) * p.ways
+	for i := 0; i < p.ways; i++ {
+		e := &p.entries[base+i]
+		if e.valid && e.line == line {
+			e.valid = false
+		}
+	}
+}
+
+// InvalidateLine drops the PAB entry caching the given PAT line
+// (called when system software updates the PAT).
+func (p *PAB) InvalidateLine(patLine uint64) {
+	base := p.setOf(patLine) * p.ways
+	for i := 0; i < p.ways; i++ {
+		e := &p.entries[base+i]
+		if e.valid && e.line == patLine {
+			e.valid = false
+		}
+	}
+}
+
+// Occupancy returns the number of valid PAB entries.
+func (p *PAB) Occupancy() int {
+	n := 0
+	for i := range p.entries {
+		if p.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// CoveragePages returns how many physical pages a full PAB can map
+// (512 MB worth for the default configuration, as in the paper).
+func (p *PAB) CoveragePages() uint64 {
+	return uint64(len(p.entries)) * pagesPerLine
+}

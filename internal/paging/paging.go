@@ -1,0 +1,131 @@
+// Package paging models the virtual-memory substrate the MMM design
+// depends on: per-guest address spaces with 8 KB pages, a
+// hardware-filled TLB (as the paper assumes, to avoid over-inflating
+// serializing-instruction counts), and the physical-memory ownership
+// map that the system software encodes into the Protection Assistance
+// Table.
+package paging
+
+import "fmt"
+
+// Domain identifies who owns a physical page. The PAT distinguishes
+// only "reliable-only" from "accessible in performance mode", but the
+// simulator tracks the precise owner so that fault-injection tests can
+// verify that no performance-mode store ever lands on another
+// component's memory.
+type Domain uint8
+
+const (
+	// DomainSystem is the VMM/hypervisor (or the OS in a single-OS
+	// system): always reliable-only.
+	DomainSystem Domain = iota
+	// DomainReliable is a guest (or application) that requires DMR.
+	DomainReliable
+	// DomainPerformance is a guest (or application) that runs in
+	// high-performance (non-DMR) mode.
+	DomainPerformance
+	// DomainScratchpad is the reserved physical region used by the
+	// mode-transition state machine to stage VCPU state.
+	DomainScratchpad
+)
+
+// String names the domain.
+func (d Domain) String() string {
+	switch d {
+	case DomainSystem:
+		return "system"
+	case DomainReliable:
+		return "reliable"
+	case DomainPerformance:
+		return "performance"
+	case DomainScratchpad:
+		return "scratchpad"
+	default:
+		return "?"
+	}
+}
+
+// PhysMap records, for every physical page, which domain owns it. The
+// system software derives the PAT from this map: a page is marked
+// reliable-only unless it is owned by a performance domain.
+type PhysMap struct {
+	pageShift uint
+	owner     []Domain
+	guest     []int32 // guest id per page, -1 if none
+	nextFree  uint64  // simple bump allocator, in pages
+}
+
+// NewPhysMap creates an ownership map covering memBytes of physical
+// memory with the given page size.
+func NewPhysMap(memBytes uint64, pageBytes int) *PhysMap {
+	shift := uint(0)
+	for 1<<shift != pageBytes {
+		shift++
+		if shift > 30 {
+			panic("paging: page size is not a power of two")
+		}
+	}
+	pages := memBytes >> shift
+	m := &PhysMap{
+		pageShift: shift,
+		owner:     make([]Domain, pages),
+		guest:     make([]int32, pages),
+	}
+	for i := range m.guest {
+		m.guest[i] = -1
+	}
+	return m
+}
+
+// PageShift returns log2(page size).
+func (m *PhysMap) PageShift() uint { return m.pageShift }
+
+// Pages returns the number of physical pages.
+func (m *PhysMap) Pages() uint64 { return uint64(len(m.owner)) }
+
+// Alloc reserves n physical pages for the given domain and guest,
+// returning the first physical page number. Allocation is a
+// deterministic bump pointer so traces are reproducible.
+func (m *PhysMap) Alloc(n uint64, d Domain, guest int) uint64 {
+	if m.nextFree+n > m.Pages() {
+		panic(fmt.Sprintf("paging: out of physical memory (%d pages requested, %d free)",
+			n, m.Pages()-m.nextFree))
+	}
+	first := m.nextFree
+	for i := uint64(0); i < n; i++ {
+		m.owner[first+i] = d
+		m.guest[first+i] = int32(guest)
+	}
+	m.nextFree += n
+	return first
+}
+
+// SetOwner reassigns one physical page (used when the system software
+// remaps pages, which must also update the PAT).
+func (m *PhysMap) SetOwner(ppage uint64, d Domain, guest int) {
+	m.owner[ppage] = d
+	m.guest[ppage] = int32(guest)
+}
+
+// Owner returns the owning domain of a physical page.
+func (m *PhysMap) Owner(ppage uint64) Domain { return m.owner[ppage] }
+
+// Guest returns the guest id owning a physical page, or -1.
+func (m *PhysMap) Guest(ppage uint64) int { return int(m.guest[ppage]) }
+
+// OwnerOfAddr returns the owning domain of a physical address.
+func (m *PhysMap) OwnerOfAddr(pa uint64) Domain {
+	return m.owner[pa>>m.pageShift]
+}
+
+// ReliableOnly reports whether the PAT bit for this physical page
+// should be 1: the page may only be written by software executing in
+// reliable mode.
+func (m *PhysMap) ReliableOnly(ppage uint64) bool {
+	switch m.owner[ppage] {
+	case DomainPerformance:
+		return false
+	default:
+		return true
+	}
+}

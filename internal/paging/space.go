@@ -1,0 +1,98 @@
+package paging
+
+// Space is one virtual address space (an OS process or a guest VM's
+// pseudo-physical space). Virtual pages map lazily to physical pages
+// drawn from the owning domain's allocation; the mapping is
+// deterministic so that the vocal and mute cores of a DMR pair, and
+// repeated runs with the same seed, observe identical translations.
+type Space struct {
+	ASID   int
+	Domain Domain
+	Guest  int
+
+	phys  *PhysMap
+	table map[uint64]uint64 // vpage -> ppage
+
+	// Regions pre-allocate physical backing so that footprints are
+	// contiguous and allocation order cannot depend on access order.
+	regions []Region
+}
+
+// Region is a contiguous range of virtual pages backed by a contiguous
+// physical allocation.
+type Region struct {
+	Name  string
+	VBase uint64 // first virtual page
+	Pages uint64
+	PBase uint64 // first physical page
+}
+
+// NewSpace creates an address space in the given domain.
+func NewSpace(asid int, d Domain, guest int, phys *PhysMap) *Space {
+	return &Space{
+		ASID:   asid,
+		Domain: d,
+		Guest:  guest,
+		phys:   phys,
+		table:  make(map[uint64]uint64),
+	}
+}
+
+// MapRegion allocates pages physical pages for the virtual range
+// starting at virtual address vbase and installs the translations.
+// It returns the region descriptor.
+func (s *Space) MapRegion(name string, vbase uint64, pages uint64) Region {
+	vpage := vbase >> s.phys.pageShift
+	pbase := s.phys.Alloc(pages, s.Domain, s.Guest)
+	for i := uint64(0); i < pages; i++ {
+		s.table[vpage+i] = pbase + i
+	}
+	r := Region{Name: name, VBase: vpage, Pages: pages, PBase: pbase}
+	s.regions = append(s.regions, r)
+	return r
+}
+
+// MapShared installs translations in this space pointing at an existing
+// region's physical pages (used for memory shared between the VCPUs of
+// one guest: OS text/data, shared heaps).
+func (s *Space) MapShared(name string, vbase uint64, r Region) Region {
+	vpage := vbase >> s.phys.pageShift
+	for i := uint64(0); i < r.Pages; i++ {
+		s.table[vpage+i] = r.PBase + i
+	}
+	nr := Region{Name: name, VBase: vpage, Pages: r.Pages, PBase: r.PBase}
+	s.regions = append(s.regions, nr)
+	return nr
+}
+
+// Translate maps a virtual address to a physical address. ok is false
+// for unmapped addresses (a page fault in a real system).
+func (s *Space) Translate(va uint64) (pa uint64, ok bool) {
+	ppage, ok := s.table[va>>s.phys.pageShift]
+	if !ok {
+		return 0, false
+	}
+	off := va & ((1 << s.phys.pageShift) - 1)
+	return ppage<<s.phys.pageShift | off, true
+}
+
+// Remap moves one virtual page onto a fresh physical page, returning
+// the old and new physical page numbers. The system software performs
+// this during paging activity; every remap requires a TLB demap and a
+// PAT update, exercising the PAB coherence path.
+func (s *Space) Remap(va uint64) (oldP, newP uint64, ok bool) {
+	vpage := va >> s.phys.pageShift
+	oldP, ok = s.table[vpage]
+	if !ok {
+		return 0, 0, false
+	}
+	newP = s.phys.Alloc(1, s.Domain, s.Guest)
+	s.table[vpage] = newP
+	return oldP, newP, true
+}
+
+// Regions returns the mapped regions.
+func (s *Space) Regions() []Region { return s.regions }
+
+// PageBytes returns the page size in bytes.
+func (s *Space) PageBytes() uint64 { return 1 << s.phys.pageShift }

@@ -1,0 +1,151 @@
+package paging
+
+// TLBEntry is one translation cached by the hardware TLB.
+type TLBEntry struct {
+	valid bool
+	asid  int
+	vpage uint64
+	ppage uint64
+	lru   uint64
+}
+
+// TLB is a set-associative, hardware-filled translation lookaside
+// buffer. The paper models a hardware-filled TLB (like Reunion's
+// evaluation) so that TLB refills do not serialize the pipeline; a
+// miss costs a fixed fill latency instead of trapping to software.
+//
+// The TLB is also a fault-injection target: a flipped bit in the
+// physical page number models the class of faults the PAB exists to
+// catch — a successful translation to a physical address the
+// application does not own.
+type TLB struct {
+	sets    int
+	ways    int
+	entries []TLBEntry
+	tick    uint64
+
+	Lookups uint64
+	Misses  uint64
+	Demaps  uint64
+
+	// demapListener is notified with the demapped physical page so the
+	// PAB can invalidate its corresponding entry (the PAB coherence
+	// rule of Section 3.4.1).
+	demapListener func(ppage uint64)
+}
+
+// NewTLB creates a TLB with n entries, 4-way set associative (n must
+// be a multiple of 4 with a power-of-two set count).
+func NewTLB(n int) *TLB {
+	ways := 4
+	if n < ways {
+		ways = n
+	}
+	sets := n / ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic("paging: TLB set count must be a positive power of two")
+	}
+	return &TLB{sets: sets, ways: ways, entries: make([]TLBEntry, n)}
+}
+
+// OnDemap registers fn to be called with the physical page of every
+// demapped translation.
+func (t *TLB) OnDemap(fn func(ppage uint64)) { t.demapListener = fn }
+
+func (t *TLB) setOf(asid int, vpage uint64) int {
+	return int((vpage ^ uint64(asid)*0x9e37) % uint64(t.sets))
+}
+
+// Lookup translates va in the given space. hit is false when the
+// translation had to be filled from the page table (costing the fill
+// latency); ok is false when the address is unmapped.
+func (t *TLB) Lookup(s *Space, va uint64) (pa uint64, hit, ok bool) {
+	t.tick++
+	t.Lookups++
+	vpage := va >> s.phys.pageShift
+	off := va & (s.PageBytes() - 1)
+	base := t.setOf(s.ASID, vpage) * t.ways
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.asid == s.ASID && e.vpage == vpage {
+			e.lru = t.tick
+			return e.ppage<<s.phys.pageShift | off, true, true
+		}
+	}
+	// Hardware fill from the page table.
+	ppage, found := s.table[vpage]
+	if !found {
+		return 0, false, false
+	}
+	t.Misses++
+	t.insert(s.ASID, vpage, ppage)
+	return ppage<<s.phys.pageShift | off, false, true
+}
+
+// insert places a translation, evicting the set's LRU entry.
+func (t *TLB) insert(asid int, vpage, ppage uint64) {
+	base := t.setOf(asid, vpage) * t.ways
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if !e.valid {
+			victim = base + i
+			break
+		}
+		if e.lru < oldest {
+			oldest = e.lru
+			victim = base + i
+		}
+	}
+	t.entries[victim] = TLBEntry{valid: true, asid: asid, vpage: vpage, ppage: ppage, lru: t.tick}
+}
+
+// Demap removes any translation for (asid, vpage) and notifies the
+// demap listener with the physical page so dependent structures (the
+// PAB) stay coherent.
+func (t *TLB) Demap(asid int, vpage uint64) {
+	base := t.setOf(asid, vpage) * t.ways
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.asid == asid && e.vpage == vpage {
+			e.valid = false
+			t.Demaps++
+			if t.demapListener != nil {
+				t.demapListener(e.ppage)
+			}
+		}
+	}
+}
+
+// DemapAll invalidates every entry for an address space.
+func (t *TLB) DemapAll(asid int) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.asid == asid {
+			e.valid = false
+			t.Demaps++
+			if t.demapListener != nil {
+				t.demapListener(e.ppage)
+			}
+		}
+	}
+}
+
+// CorruptEntry flips bit in the physical page number of the entry
+// currently caching (asid, vpage), modeling a hardware fault in the
+// TLB array. It reports whether an entry was present to corrupt.
+func (t *TLB) CorruptEntry(asid int, vpage uint64, bit uint) bool {
+	base := t.setOf(asid, vpage) * t.ways
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.asid == asid && e.vpage == vpage {
+			e.ppage ^= 1 << bit
+			return true
+		}
+	}
+	return false
+}
+
+// Entries returns the number of TLB entries.
+func (t *TLB) Entries() int { return len(t.entries) }

@@ -1,0 +1,143 @@
+// Package reunion implements the Reunion loose lock-stepping DMR scheme
+// the paper builds on (Smolens et al., MICRO 2006): a logical
+// processing pair of two cores redundantly executing one instruction
+// stream. The vocal core implements full coherence; the mute core loads
+// through its own private hierarchy incoherently and never exposes new
+// values. An added in-order Check stage computes a fingerprint of each
+// instruction's outputs, exchanges it with the partner over a dedicated
+// 10-cycle network, and releases the instruction for commit only when
+// the fingerprints match; a mismatch — whether from a hardware fault or
+// from the mute's best-effort incoherent data going stale — squashes
+// both pipelines and re-executes, the same recovery as a transient
+// fault.
+package reunion
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/interconnect"
+	"repro/internal/sim"
+)
+
+// ringSize bounds how far either side can run ahead; it needs to cover
+// both instruction windows plus slack.
+const ringSize = 1024
+
+// record is one side's completion record for one instruction.
+type record struct {
+	seq   uint64
+	done  sim.Cycle
+	fp    uint64
+	valid bool
+}
+
+// Pair is one logical processing pair. It implements cpu.Gate.
+type Pair struct {
+	cfg  *sim.Config
+	link *interconnect.FingerprintLink
+
+	rings [2][ringSize]record
+
+	vocal *cpu.Core
+	mute  *cpu.Core
+
+	// Stats
+	Checks     uint64
+	Mismatches uint64
+}
+
+// NewPair creates a pair gate for the given cores. The cores are not
+// reconfigured here; callers (the MMM layer) call Bind/Unbind to enter
+// and leave DMR mode.
+func NewPair(cfg *sim.Config, vocal, mute *cpu.Core) *Pair {
+	return &Pair{
+		cfg:   cfg,
+		link:  interconnect.NewFingerprintLink(cfg.FingerprintLat),
+		vocal: vocal,
+		mute:  mute,
+	}
+}
+
+// Vocal returns the vocal (master) core.
+func (p *Pair) Vocal() *cpu.Core { return p.vocal }
+
+// Mute returns the mute (slave) core.
+func (p *Pair) Mute() *cpu.Core { return p.mute }
+
+// Bind activates the Check stage on both cores: the vocal stays
+// coherent, the mute switches to the incoherent request path. Both
+// windows must be drained.
+func (p *Pair) Bind() {
+	p.reset()
+	p.vocal.SetGate(p, 0)
+	p.vocal.SetCoherent(true)
+	p.mute.SetGate(p, 1)
+	p.mute.SetCoherent(false)
+}
+
+// Unbind deactivates the Check stage (Leave-DMR). The mute core is
+// returned to the coherent path; its incoherent cache contents must be
+// flushed by the caller before it runs independent software.
+func (p *Pair) Unbind() {
+	p.vocal.SetGate(nil, 0)
+	p.mute.SetGate(nil, 0)
+	p.mute.SetCoherent(true)
+	p.reset()
+}
+
+func (p *Pair) reset() {
+	for s := range p.rings {
+		for i := range p.rings[s] {
+			p.rings[s][i].valid = false
+		}
+	}
+}
+
+// Complete records that side finished executing seq at cycle done with
+// fingerprint fp (cpu.Gate).
+func (p *Pair) Complete(side int, seq uint64, done sim.Cycle, fp uint64) {
+	p.rings[side][seq%ringSize] = record{seq: seq, done: done, fp: fp, valid: true}
+}
+
+// CommitReady implements the Check stage (cpu.Gate): instruction seq on
+// side may commit once both sides have executed it and the fingerprints
+// have crossed the dedicated network and compared equal. A mismatch
+// squashes both cores; the instruction re-executes and is re-checked.
+func (p *Pair) CommitReady(side int, seq uint64, now sim.Cycle) (sim.Cycle, bool) {
+	self := &p.rings[side][seq%ringSize]
+	other := &p.rings[1-side][seq%ringSize]
+	if !self.valid || self.seq != seq {
+		return 0, false
+	}
+	if !other.valid || other.seq != seq {
+		return 0, false // partner has not executed it yet
+	}
+	p.Checks++
+	if self.fp != other.fp {
+		// Fingerprint mismatch: detected fault (or stale incoherent
+		// data). Instructions from seq onward squash on both cores and
+		// re-execute; architected state was never updated. Older
+		// instructions already passed their check and may still
+		// commit, so their records are preserved.
+		p.Mismatches++
+		p.vocal.C.FPMismatches++
+		for s := range p.rings {
+			for i := range p.rings[s] {
+				if p.rings[s][i].valid && p.rings[s][i].seq >= seq {
+					p.rings[s][i].valid = false
+				}
+			}
+		}
+		p.vocal.Squash(now, seq)
+		p.mute.Squash(now, seq)
+		return 0, false
+	}
+	// The later of the two executions sends its fingerprint; the
+	// instruction commits when that fingerprint arrives at the other
+	// side.
+	done := self.done
+	if other.done > done {
+		done = other.done
+	}
+	p.link.Sent++
+	return done + p.link.Latency(), true
+}

@@ -1,0 +1,147 @@
+// Package sched is the multicore-virtualization layer the MMM leverages
+// (the paper builds on the authors' PACT 2006 overcommitted-VM work):
+// guests expose VCPUs, a thin hardware/firmware layer maps VCPUs onto
+// physical cores, and a gang scheduler rotates guests through
+// timeslices on a consolidated server. VCPUs can be overcommitted —
+// more VCPUs exposed than core pairs available — with the surplus
+// paused, which is what lets MMM-TP run independent software threads on
+// otherwise-mute cores.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/paging"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vcpu"
+	"repro/internal/workload"
+)
+
+// Guest is one guest virtual machine (or, in a single-OS system, the
+// one operating system): a set of VCPUs sharing code, shared-data and
+// kernel regions, with per-VCPU private regions.
+type Guest struct {
+	ID   int
+	Name string
+	Mode vcpu.Mode
+	WL   *workload.Params
+
+	VCPUs []*vcpu.VCPU
+}
+
+// asidCounter hands out unique ASIDs per chip; owned by Builder.
+type Builder struct {
+	cfg      *sim.Config
+	pm       *paging.PhysMap
+	nextASID int
+	nextID   int
+	scratch  []uint64
+	nextSlot int
+}
+
+// NewBuilder creates a guest builder over the chip's physical memory.
+// maxVCPUs bounds the scratchpad reservation.
+func NewBuilder(cfg *sim.Config, pm *paging.PhysMap, maxVCPUs int) *Builder {
+	return &Builder{
+		cfg:     cfg,
+		pm:      pm,
+		scratch: vcpu.AllocScratch(cfg, pm, maxVCPUs),
+	}
+}
+
+// Build creates a guest with n VCPUs running the given workload model.
+// The guest's code, shared-data, kernel-text and kernel-data regions
+// are allocated once and mapped into every VCPU's address space;
+// private data is per-VCPU. The domain of every allocation follows the
+// guest's reliability mode, which is what the system software encodes
+// into the PAT.
+func (b *Builder) Build(name string, wl *workload.Params, n int, mode vcpu.Mode, seed uint64) (*Guest, error) {
+	if err := wl.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Guest{ID: b.nextID, Name: name, Mode: mode, WL: wl}
+	b.nextID++
+	gs := trace.NewGuestState(wl)
+
+	domain := paging.DomainReliable
+	if mode != vcpu.ModeReliable {
+		domain = paging.DomainPerformance
+	}
+
+	// Template space owns the shared allocations.
+	template := paging.NewSpace(b.nextASID, domain, g.ID, b.pm)
+	b.nextASID++
+	code := template.MapRegion("code", trace.VACodeBase, wl.CodePages)
+	shared := template.MapRegion("shared", trace.VASharedBase, wl.SharedPages)
+	osCode := template.MapRegion("oscode", trace.VAOSCodeBase, wl.OSCodePages)
+	osData := template.MapRegion("osdata", trace.VAOSDataBase, wl.OSPages)
+
+	for i := 0; i < n; i++ {
+		var space *paging.Space
+		if i == 0 {
+			space = template
+		} else {
+			space = paging.NewSpace(b.nextASID, domain, g.ID, b.pm)
+			b.nextASID++
+			space.MapShared("code", trace.VACodeBase, code)
+			space.MapShared("shared", trace.VASharedBase, shared)
+			space.MapShared("oscode", trace.VAOSCodeBase, osCode)
+			space.MapShared("osdata", trace.VAOSDataBase, osData)
+		}
+		space.MapRegion("priv", trace.VAPrivBase, wl.PrivPages)
+
+		if b.nextSlot >= len(b.scratch) {
+			return nil, fmt.Errorf("sched: out of scratchpad slots (max %d VCPUs)", len(b.scratch))
+		}
+		v := &vcpu.VCPU{
+			ID:      b.nextSlot,
+			Guest:   g.ID,
+			Mode:    mode,
+			Space:   space,
+			Stream:  trace.NewShared(trace.NewInGuest(wl, seed+uint64(i)*0x9e3779b9, gs)),
+			Scratch: b.scratch[b.nextSlot],
+		}
+		// Seed distinguishable privileged state so corruption is
+		// detectable by value comparison.
+		for r := range v.Reg.Priv {
+			v.Reg.Priv[r] = uint64(v.ID)<<32 | uint64(r)
+		}
+		b.nextSlot++
+		g.VCPUs = append(g.VCPUs, v)
+	}
+	return g, nil
+}
+
+// Gang is the consolidated-server gang scheduler: guests take turns in
+// fixed timeslices (1 ms = 3M cycles in the paper), with every VCPU of
+// the active guest co-scheduled.
+type Gang struct {
+	Timeslice sim.Cycle
+	nGroups   int
+	active    int
+	nextAt    sim.Cycle
+
+	Switches uint64
+}
+
+// NewGang creates a scheduler rotating among n co-scheduled groups.
+func NewGang(timeslice sim.Cycle, n int) *Gang {
+	return &Gang{Timeslice: timeslice, nGroups: n, nextAt: timeslice}
+}
+
+// Active returns the index of the group currently on the cores.
+func (s *Gang) Active() int { return s.active }
+
+// Due reports whether a group switch is due at cycle now; if so it
+// rotates to the next group and returns true with the new active
+// index. The caller performs the actual context/mode switches.
+func (s *Gang) Due(now sim.Cycle) (int, bool) {
+	if s.nGroups <= 1 || now < s.nextAt {
+		return s.active, false
+	}
+	s.active = (s.active + 1) % s.nGroups
+	s.nextAt = now + s.Timeslice
+	s.Switches++
+	return s.active, true
+}

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/paging"
+	"repro/internal/sim"
+	"repro/internal/vcpu"
+	"repro/internal/workload"
+)
+
+func builder(t testing.TB) (*sim.Config, *paging.PhysMap, *Builder) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	pm := paging.NewPhysMap(cfg.PhysMemBytes, cfg.PageBytes)
+	return cfg, pm, NewBuilder(cfg, pm, 64)
+}
+
+func TestBuildGuestLayout(t *testing.T) {
+	_, pm, b := builder(t)
+	wl, _ := workload.ByName("oltp")
+	g, err := b.Build("g0", wl, 8, vcpu.ModeReliable, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.VCPUs) != 8 {
+		t.Fatalf("vcpus = %d", len(g.VCPUs))
+	}
+	// Shared regions alias; private regions do not.
+	v0, v1 := g.VCPUs[0], g.VCPUs[1]
+	s0, _ := v0.Space.Translate(0x0000_0300_0000_0000)
+	s1, _ := v1.Space.Translate(0x0000_0300_0000_0000)
+	if s0 != s1 {
+		t.Fatal("shared region not aliased between VCPUs")
+	}
+	p0, ok0 := v0.Space.Translate(0x0000_0200_0000_0000)
+	p1, ok1 := v1.Space.Translate(0x0000_0200_0000_0000)
+	if !ok0 || !ok1 || p0 == p1 {
+		t.Fatal("private regions alias")
+	}
+	// Reliable-guest pages are reliable-only in the ownership map.
+	if !pm.ReliableOnly(s0 >> pm.PageShift()) {
+		t.Fatal("reliable guest's pages are writable in performance mode")
+	}
+	// Each VCPU has a distinct scratchpad slot and distinct privileged
+	// state seed.
+	if v0.Scratch == v1.Scratch {
+		t.Fatal("scratch slots collide")
+	}
+	if v0.Reg.Priv == v1.Reg.Priv {
+		t.Fatal("privileged state seeds collide")
+	}
+}
+
+func TestPerformanceGuestWritable(t *testing.T) {
+	_, pm, b := builder(t)
+	wl, _ := workload.ByName("apache")
+	g, err := b.Build("p", wl, 2, vcpu.ModePerformance, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := g.VCPUs[0].Space.Translate(0x0000_0200_0000_0000)
+	if pm.ReliableOnly(pa >> pm.PageShift()) {
+		t.Fatal("performance guest's private pages must be writable")
+	}
+}
+
+func TestGuestsIsolated(t *testing.T) {
+	_, _, b := builder(t)
+	wl, _ := workload.ByName("pmake")
+	a, _ := b.Build("a", wl, 2, vcpu.ModePerformance, 1)
+	c, _ := b.Build("b", wl, 2, vcpu.ModePerformance, 2)
+	pa, _ := a.VCPUs[0].Space.Translate(0x0000_0300_0000_0000)
+	pb, _ := c.VCPUs[0].Space.Translate(0x0000_0300_0000_0000)
+	if pa == pb {
+		t.Fatal("guests share physical memory")
+	}
+	if a.ID == c.ID {
+		t.Fatal("guest ids collide")
+	}
+}
+
+func TestScratchSlotExhaustion(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	pm := paging.NewPhysMap(cfg.PhysMemBytes, cfg.PageBytes)
+	b := NewBuilder(cfg, pm, 4)
+	wl, _ := workload.ByName("apache")
+	if _, err := b.Build("big", wl, 8, vcpu.ModePerformance, 1); err == nil {
+		t.Fatal("expected scratchpad exhaustion error")
+	}
+}
+
+func TestGangRotation(t *testing.T) {
+	g := NewGang(1000, 2)
+	if g.Active() != 0 {
+		t.Fatal("initial group should be 0")
+	}
+	if _, due := g.Due(999); due {
+		t.Fatal("switch before the timeslice expired")
+	}
+	next, due := g.Due(1000)
+	if !due || next != 1 {
+		t.Fatalf("expected switch to group 1, got %d due=%v", next, due)
+	}
+	// The next switch is a full timeslice later.
+	if _, due := g.Due(1500); due {
+		t.Fatal("switched again mid-slice")
+	}
+	next, due = g.Due(2000)
+	if !due || next != 0 {
+		t.Fatal("rotation did not wrap")
+	}
+	if g.Switches != 2 {
+		t.Fatalf("switches = %d", g.Switches)
+	}
+}
+
+func TestGangSingleGroupNeverSwitches(t *testing.T) {
+	g := NewGang(100, 1)
+	for now := sim.Cycle(0); now < 10_000; now += 100 {
+		if _, due := g.Due(now); due {
+			t.Fatal("single-group gang switched")
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package sim
+
+// Config holds every architectural parameter of the target multicore.
+// The defaults reproduce the configuration in Section 4.1 of the paper:
+// a 16-core chip at 3 GHz with out-of-order, 2-wide cores, an 8-stage
+// pipeline (9 with Reunion's Check stage), a 128-entry instruction
+// window, a 32-load/32-store queue, sequential consistency, split 16 KB
+// write-through L1 I/D caches, a 512 KB private L2, an 8 MB shared L3
+// that is exclusive with the L2s, a MOSI directory protocol over a
+// point-to-point interconnect, and 350-cycle main memory with 40 GB/s
+// of off-chip bandwidth.
+type Config struct {
+	// Chip
+	Cores       int // physical cores on the chip
+	ClockGHz    float64
+	IssueWidth  int // instructions issued per cycle per core
+	CommitWidth int // instructions committed per cycle per core
+	FetchWidth  int // instructions fetched per cycle per core
+	WindowSize  int // instruction window (ROB) entries
+	LoadQueue   int // load queue entries
+	StoreQueue  int // store queue entries
+
+	// Pipeline depth: front-end fill delay charged after a redirect
+	// (trap, mispredict). 8 stages baseline, 9 with Reunion.
+	PipelineStages int
+
+	// TSO selects total-store-order instead of sequential consistency:
+	// committed stores drain from a store buffer in the background
+	// instead of holding their window slot until the write-through
+	// completes. The paper's configuration is SC (which Smolens
+	// reports costs Reunion ~30% on average); the original Reunion
+	// evaluation used TSO — this knob reproduces that ablation.
+	TSO bool
+	// StoreBufferEntries bounds the TSO store buffer.
+	StoreBufferEntries int
+
+	// Branch handling
+	MispredictPenalty Cycle
+
+	// Caches (sizes in bytes)
+	LineSize   int
+	L1Size     int
+	L1Ways     int
+	L1HitLat   Cycle // load-to-use for an L1 hit
+	L2Size     int
+	L2Ways     int
+	L2HitLat   Cycle // load-to-use for a private L2 hit
+	L3Size     int
+	L3Ways     int
+	L3Banks    int
+	L3HitLat   Cycle // end-to-end load-to-use for a shared L3 hit (55 in the paper)
+	L3PortBusy Cycle // bank occupancy per access
+	// MemLat is the DRAM device latency. End-to-end memory load-to-use
+	// is MemLat plus network hops and the directory lookup, ~350
+	// cycles as in the paper.
+	MemLat             Cycle
+	MemBWBytesPerCycle float64 // 40 GB/s at 3 GHz = 13.3 B/cycle
+	DirLat             Cycle   // directory (shadow tag) lookup latency
+
+	// Interconnect
+	NetHopLat Cycle // average point-to-point message latency (10)
+
+	// TLB: hardware filled (like the paper, to avoid over-inflating
+	// the serializing-instruction count).
+	TLBEntries int
+	TLBFillLat Cycle
+
+	// Reunion
+	FingerprintLat  Cycle // dedicated fingerprint network latency (10)
+	SerializeFPLat  Cycle // extra validation delay for serializing instructions
+	RecoveryPenalty Cycle // pipeline flush + resync after fingerprint mismatch
+
+	// Protection Assistance Buffer
+	PABEntries   int   // 128 in the paper
+	PABSerial    bool  // serial (2-cycle) vs parallel lookup
+	PABSerialLat Cycle // store write-through delay when serial
+
+	// Mode transitions
+	VCPUStateBytes int // ~2.3 KB for SPARC
+	FlushPerCycle  int // L2 lines inspected per cycle when flushing (1)
+	// ScratchLat is the access latency of the on-chip scratchpad space
+	// that stages VCPU state during mode transitions (pinned L3 ways).
+	ScratchLat Cycle
+
+	// Scheduling
+	TimesliceCycles Cycle // gang-scheduling timeslice, 1 ms = 3 M cycles
+
+	// Memory system size
+	PhysMemBytes uint64
+	PageBytes    int // 8 KB pages (SPARC)
+}
+
+// DefaultConfig returns the paper's target multicore configuration.
+func DefaultConfig() *Config {
+	return &Config{
+		Cores:       16,
+		ClockGHz:    3.0,
+		IssueWidth:  2,
+		CommitWidth: 2,
+		FetchWidth:  2,
+		WindowSize:  128,
+		LoadQueue:   32,
+		StoreQueue:  32,
+
+		PipelineStages:    8,
+		MispredictPenalty: 10,
+
+		TSO:                false,
+		StoreBufferEntries: 16,
+
+		LineSize:           64,
+		L1Size:             16 * 1024,
+		L1Ways:             2,
+		L1HitLat:           2,
+		L2Size:             512 * 1024,
+		L2Ways:             4,
+		L2HitLat:           10,
+		L3Size:             8 * 1024 * 1024,
+		L3Ways:             16,
+		L3Banks:            16,
+		L3HitLat:           55,
+		L3PortBusy:         4,
+		MemLat:             310,
+		MemBWBytesPerCycle: 40.0 / 3.0, // 40 GB/s at 3 GHz
+		DirLat:             10,
+
+		NetHopLat: 10,
+
+		TLBEntries: 1024,
+		TLBFillLat: 25,
+
+		FingerprintLat:  10,
+		SerializeFPLat:  30,
+		RecoveryPenalty: 200,
+
+		PABEntries:   128,
+		PABSerial:    false,
+		PABSerialLat: 2,
+
+		VCPUStateBytes: 2304, // ~2.3 KB
+		FlushPerCycle:  1,
+		ScratchLat:     40,
+
+		TimesliceCycles: 3_000_000,
+
+		PhysMemBytes: 4 << 30,
+		PageBytes:    8 * 1024,
+	}
+}
+
+// Lines returns the number of cache lines for a cache of size bytes.
+func (c *Config) Lines(size int) int { return size / c.LineSize }
+
+// L2Lines is the number of lines in one private L2 (8192 by default,
+// which sets the ~8k-cycle line-by-line flush cost in Table 1).
+func (c *Config) L2Lines() int { return c.Lines(c.L2Size) }
+
+// VCPUStateLines is the number of cache lines occupied by one VCPU's
+// architectural state when saved to the scratchpad space.
+func (c *Config) VCPUStateLines() int {
+	return (c.VCPUStateBytes + c.LineSize - 1) / c.LineSize
+}
+
+// Validate reports a non-nil error description if the configuration is
+// internally inconsistent.
+func (c *Config) Validate() error {
+	switch {
+	case c.Cores <= 0 || c.Cores%2 != 0:
+		return errConfig("Cores must be positive and even (DMR pairs)")
+	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
+		return errConfig("LineSize must be a power of two")
+	case c.L1Size%(c.LineSize*c.L1Ways) != 0:
+		return errConfig("L1 geometry does not divide into sets")
+	case c.L2Size%(c.LineSize*c.L2Ways) != 0:
+		return errConfig("L2 geometry does not divide into sets")
+	case c.L3Size%(c.LineSize*c.L3Ways) != 0:
+		return errConfig("L3 geometry does not divide into sets")
+	case c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0:
+		return errConfig("PageBytes must be a power of two")
+	case c.WindowSize <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
+		return errConfig("pipeline widths must be positive")
+	case c.FlushPerCycle <= 0:
+		return errConfig("FlushPerCycle must be positive")
+	}
+	return nil
+}
+
+type errConfig string
+
+func (e errConfig) Error() string { return "sim: invalid config: " + string(e) }

@@ -1,0 +1,104 @@
+// Package sim provides the simulation kernel shared by every other
+// module in this repository: the cycle clock, a deterministic
+// pseudo-random number generator, a discrete event queue, and the chip
+// configuration corresponding to the target multicore of the paper
+// (Wells, Chakraborty, Sohi, "Mixed-Mode Multicore Reliability",
+// ASPLOS 2009, Section 4.1).
+package sim
+
+import "math"
+
+// Rand is a small, fast, deterministic PRNG (splitmix64). Determinism
+// matters: the vocal and the mute core of a Reunion pair must observe
+// bit-identical instruction streams, which requires that two generators
+// seeded identically produce identical sequences forever. Rand is not
+// safe for concurrent use; every simulated agent owns its own Rand.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Two generators with the
+// same seed produce the same sequence.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Snapshot returns the internal state so a caller can checkpoint the
+// generator (used by recovery and replay logic).
+func (r *Rand) Snapshot() uint64 { return r.state }
+
+// Restore rewinds the generator to a state captured by Snapshot.
+func (r *Rand) Restore(s uint64) { r.state = s }
+
+// Next returns the next 64 uniformly distributed bits.
+func (r *Rand) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Uint64n returns a uniform integer in [0, n). n must be positive.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Next() % n
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Around returns a sample uniform in [mean/2, 3*mean/2): a bounded
+// jitter around mean. Phase lengths use this rather than a geometric
+// distribution so that run-to-run variance at realistic simulation
+// lengths stays small (the paper smooths its heavy-tailed phases over
+// 100M-cycle runs; our windows are shorter).
+func (r *Rand) Around(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	m := uint64(mean)
+	v := m/2 + r.Uint64n(m+1)
+	if v < 1 {
+		v = 1
+	}
+	return int(v)
+}
+
+// Geometric returns a sample from a geometric distribution with the
+// given mean (at least 1). It is used for phase lengths and dependency
+// distances, which the paper's workloads exhibit as heavy-tailed
+// interleavings.
+func (r *Rand) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	u := r.Float64()
+	if u >= 1 {
+		u = 0.999999999
+	}
+	// Inverse-CDF sampling: P(X = k) = p(1-p)^(k-1) with p = 1/mean.
+	p := 1 / mean
+	k := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

@@ -1,0 +1,163 @@
+// Package stats provides the measurement machinery used by the
+// evaluation: per-VCPU user-instruction commit accounting (the paper's
+// "work" metric), sample statistics with 95% confidence intervals
+// across repeated runs, and normalization helpers for reproducing the
+// paper's normalized figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations from repeated simulation runs with
+// different seeds and reports their mean and 95% confidence interval,
+// matching the paper's methodology ("we simulate multiple runs and
+// report average results with 95% confidence intervals").
+type Sample struct {
+	xs []float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean (0 if empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev returns the sample standard deviation (0 if fewer than two
+// observations).
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean using the Student-t distribution.
+func (s *Sample) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	return tCritical95(n-1) * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// Min returns the smallest observation (0 if empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (0 if empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the sample median (0 if empty).
+func (s *Sample) Median() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	c := append([]float64(nil), s.xs...)
+	sort.Float64s(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// String formats the sample as "mean ±ci".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4f ±%.4f", s.Mean(), s.CI95())
+}
+
+// tCritical95 returns the two-tailed 95% Student-t critical value for
+// the given degrees of freedom. Values beyond the table converge to the
+// normal quantile 1.96.
+func tCritical95(df int) float64 {
+	table := []float64{
+		0:  0, // unused
+		1:  12.706,
+		2:  4.303,
+		3:  3.182,
+		4:  2.776,
+		5:  2.571,
+		6:  2.447,
+		7:  2.365,
+		8:  2.306,
+		9:  2.262,
+		10: 2.228,
+		11: 2.201,
+		12: 2.179,
+		13: 2.160,
+		14: 2.145,
+		15: 2.131,
+		16: 2.120,
+		17: 2.110,
+		18: 2.101,
+		19: 2.093,
+		20: 2.086,
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	switch {
+	case df < 30:
+		return 2.06
+	case df < 60:
+		return 2.00
+	default:
+		return 1.96
+	}
+}
+
+// Ratio returns a/b, or 0 when b is 0; used when normalizing results
+// against a baseline configuration.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

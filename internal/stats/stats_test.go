@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.CI95() != 0 || s.Median() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	for _, x := range []float64{2, 4, 6} {
+		s.Add(x)
+	}
+	if s.Mean() != 4 {
+		t.Fatalf("mean = %v, want 4", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 6 || s.Median() != 4 {
+		t.Fatalf("min/max/median wrong: %v %v %v", s.Min(), s.Max(), s.Median())
+	}
+	if got := s.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+}
+
+func TestSampleCI95(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	s.Add(12)
+	s.Add(8)
+	s.Add(10)
+	// sd = sqrt(8/3) ~= 1.633, se = 0.8165, t(3) = 3.182
+	want := 3.182 * math.Sqrt(8.0/3.0) / 2
+	if got := s.CI95(); math.Abs(got-want) > 1e-3 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestSampleCIShrinks(t *testing.T) {
+	// Property: for a fixed spread, more samples give a tighter CI.
+	small, large := &Sample{}, &Sample{}
+	for i := 0; i < 4; i++ {
+		small.Add(float64(i % 2))
+	}
+	for i := 0; i < 64; i++ {
+		large.Add(float64(i % 2))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: n=4 %v vs n=64 %v", small.CI95(), large.CI95())
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{1, 9, 3, 7} {
+		s.Add(x)
+	}
+	if s.Median() != 5 {
+		t.Fatalf("median = %v, want 5", s.Median())
+	}
+}
+
+func TestMeanWithinBounds(t *testing.T) {
+	err := quick.Check(func(xs []float64) bool {
+		var s Sample
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e300 {
+				return true // avoid sum overflow, not a property violation
+			}
+			s.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= lo-1e-9*math.Abs(lo) && m <= hi+1e-9*math.Abs(hi)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(4, 2) != 2 {
+		t.Fatal("Ratio(4,2) != 2")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio(x,0) should be 0")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := CoreCounters{Cycles: 10, UserCommits: 5, Stores: 2}
+	b := CoreCounters{Cycles: 1, UserCommits: 2, Stores: 3, FPMismatches: 1}
+	a.Add(&b)
+	if a.Cycles != 11 || a.UserCommits != 7 || a.Stores != 5 || a.FPMismatches != 1 {
+		t.Fatalf("Add gave %+v", a)
+	}
+	if got := a.UserIPC(); math.Abs(got-7.0/11) > 1e-12 {
+		t.Fatalf("UserIPC = %v", got)
+	}
+}
+
+func TestCacheCountersAdd(t *testing.T) {
+	a := CacheCounters{L1Hits: 1, C2CTransfers: 2}
+	b := CacheCounters{L1Hits: 3, C2CTransfers: 5, FlushedLines: 7}
+	a.Add(&b)
+	if a.L1Hits != 4 || a.C2CTransfers != 7 || a.FlushedLines != 7 {
+		t.Fatalf("Add gave %+v", a)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"a", "bee"}}
+	tab.AddRow("x", "1")
+	tab.AddRow("longer", "2")
+	out := tab.String()
+	if !strings.Contains(out, "== T ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "x") || !strings.Contains(lines[4], "longer") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+}
+
+func TestTableSortRows(t *testing.T) {
+	tab := &Table{Columns: []string{"k"}}
+	tab.AddRow("zeta")
+	tab.AddRow("alpha")
+	tab.SortRows()
+	if tab.Rows[0][0] != "alpha" {
+		t.Fatal("rows not sorted")
+	}
+}
+
+func TestTCriticalMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df < 200; df++ {
+		v := tCritical95(df)
+		if v > prev {
+			t.Fatalf("t-critical increased at df=%d: %v > %v", df, v, prev)
+		}
+		prev = v
+	}
+	if tCritical95(10_000) != 1.96 {
+		t.Fatal("large df should converge to 1.96")
+	}
+}

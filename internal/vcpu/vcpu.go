@@ -1,0 +1,222 @@
+// Package vcpu models the OS-visible virtual processors of the MMM and
+// the hardware state machine that moves their architectural state
+// through the cache hierarchy during mode transitions and migrations.
+//
+// The chip exposes VCPUs to the system software and maps them onto
+// physical cores (statically for a traditional DMR system and MMM-IPC,
+// dynamically and overcommitted for MMM-TP). A VCPU's ~2.3 KB of
+// architectural state is saved to and restored from a reserved portion
+// of the physical address space — the scratchpad — using ordinary
+// coherent loads and stores, so state can migrate between cores over
+// the on-chip coherence protocol.
+package vcpu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/paging"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Mode is the per-VCPU reliability register the paper proposes: a
+// 2-bit, privileged-software-writable register selecting the execution
+// mode.
+type Mode uint8
+
+const (
+	// ModeReliable runs the VCPU under DMR at all times.
+	ModeReliable Mode = iota
+	// ModePerformance runs the VCPU on a single core at all times
+	// (evaluated only as a limit case; unsafe for privileged code).
+	ModePerformance
+	// ModePerfUser runs unprivileged software on a single core but
+	// enters DMR whenever the VCPU executes privileged code — the mode
+	// this paper's mechanisms make safe.
+	ModePerfUser
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeReliable:
+		return "reliable"
+	case ModePerformance:
+		return "performance"
+	case ModePerfUser:
+		return "perf-user"
+	default:
+		return "?"
+	}
+}
+
+// VCPU is one OS-visible virtual processor.
+type VCPU struct {
+	ID    int
+	Guest int
+	Mode  Mode
+
+	// Reg is the live architectural state; SavedPriv is the redundant
+	// copy of the privileged registers written to the scratchpad on
+	// Leave-DMR and verified against the vocal's copy on Enter-DMR.
+	Reg       isa.RegFile
+	SavedPriv [isa.NumPriv]uint64
+	HasSaved  bool
+
+	Space  *paging.Space
+	Stream *trace.Shared
+
+	// Scratch is the physical base address of this VCPU's slot in the
+	// scratchpad space (two state images: vocal's and mute's).
+	Scratch uint64
+
+	// Paused marks a VCPU with no core available (overcommit).
+	Paused bool
+
+	// InOS preserves the user/OS phase across migrations so cycle
+	// attribution (Table 2) stays correct when the VCPU moves between
+	// cores.
+	InOS bool
+}
+
+// ScratchSlotBytes is the scratchpad footprint per VCPU: two full state
+// images (the vocal's and the mute's redundant copy), rounded to lines.
+func ScratchSlotBytes(cfg *sim.Config) uint64 {
+	lines := uint64(cfg.VCPUStateLines())
+	return 2 * lines * uint64(cfg.LineSize)
+}
+
+// AllocScratch reserves the scratchpad region for n VCPUs and returns
+// the base physical addresses of each slot.
+func AllocScratch(cfg *sim.Config, pm *paging.PhysMap, n int) []uint64 {
+	slot := ScratchSlotBytes(cfg)
+	pages := (slot*uint64(n) + uint64(cfg.PageBytes) - 1) / uint64(cfg.PageBytes)
+	base := pm.Alloc(pages, paging.DomainScratchpad, -1) << pm.PageShift()
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)*slot
+	}
+	return out
+}
+
+// Engine is the per-chip hardware state machine that moves VCPU state.
+// The scratchpad is a reserved portion of the physical address space
+// that the transition state machine keeps resident on chip (pinned L3
+// ways); writes stream at one line per cycle and drain with one
+// scratchpad access latency, while reads are dependent, serial
+// line-by-line accesses — the state machine is deliberately simple
+// hardware. These mechanics, not constants, produce the Table 1 costs:
+// Enter-DMR ≈ 2.3k cycles (dominated by the mute's serial reload and
+// verification of ~2.3 KB of state) and MMM-TP Leave-DMR ≈ 10k cycles
+// (dominated by the 8192-line L2 flush).
+type Engine struct {
+	cfg *sim.Config
+
+	Saves    uint64
+	Restores uint64
+	Verifies uint64
+	// VerifyFailures counts privileged-state divergence detected when
+	// entering DMR — exactly the fault class Section 3.4.3 defends
+	// against.
+	VerifyFailures uint64
+}
+
+// NewEngine creates the state-move engine.
+func NewEngine(cfg *sim.Config) *Engine {
+	return &Engine{cfg: cfg}
+}
+
+// vocalImage and muteImage locate the two state images in a VCPU slot.
+func (e *Engine) vocalImage(v *VCPU) uint64 { return v.Scratch }
+func (e *Engine) muteImage(v *VCPU) uint64 {
+	return v.Scratch + uint64(e.cfg.VCPUStateLines()*e.cfg.LineSize)
+}
+
+// Save writes one state image (full or privileged-only) from core to
+// the given scratchpad image, returning the completion cycle: the
+// stores are pipelined one line per cycle and the last drains after one
+// scratchpad access latency.
+func (e *Engine) Save(core int, image uint64, lines int, now sim.Cycle) sim.Cycle {
+	e.Saves++
+	_ = core
+	_ = image
+	return now + sim.Cycle(lines) + e.cfg.ScratchLat
+}
+
+// Restore reads one state image into core, returning the completion
+// cycle. Loads are serial: each line's address depends on the state
+// machine's progress, so every line pays the scratchpad access latency.
+func (e *Engine) Restore(core int, image uint64, lines int, now sim.Cycle) sim.Cycle {
+	e.Restores++
+	_ = core
+	_ = image
+	return now + sim.Cycle(lines)*e.cfg.ScratchLat
+}
+
+// privLines returns the number of cache lines holding only the
+// privileged registers (the MMM-IPC Leave-DMR save set).
+func (e *Engine) privLines() int {
+	bytes := isa.NumPriv * 8
+	return (bytes + e.cfg.LineSize - 1) / e.cfg.LineSize
+}
+
+// SaveVocal stores the vocal core's full state image.
+func (e *Engine) SaveVocal(core int, v *VCPU, now sim.Cycle) sim.Cycle {
+	return e.Save(core, e.vocalImage(v), e.cfg.VCPUStateLines(), now)
+}
+
+// SaveMutePriv stores the mute's redundant privileged-register copy
+// (Leave-DMR). It also snapshots the values for later verification.
+func (e *Engine) SaveMutePriv(core int, v *VCPU, now sim.Cycle) sim.Cycle {
+	v.SavedPriv = v.Reg.Priv
+	v.HasSaved = true
+	return e.Save(core, e.muteImage(v), e.privLines(), now)
+}
+
+// SaveMuteFull stores the mute's full state image (MMM-TP Leave-DMR,
+// where the mute may next run an unrelated VCPU).
+func (e *Engine) SaveMuteFull(core int, v *VCPU, now sim.Cycle) sim.Cycle {
+	v.SavedPriv = v.Reg.Priv
+	v.HasSaved = true
+	return e.Save(core, e.muteImage(v), e.cfg.VCPUStateLines(), now)
+}
+
+// RestoreVocal reads a VCPU's full vocal-side state image into core.
+func (e *Engine) RestoreVocal(core int, v *VCPU, now sim.Cycle) sim.Cycle {
+	return e.Restore(core, e.vocalImage(v), e.cfg.VCPUStateLines(), now)
+}
+
+// SaveVocalPriv stores only the vocal's privileged registers (the
+// MMM-IPC Leave-DMR save set: "the cores need only store their
+// privileged state to the cache hierarchy for later use").
+func (e *Engine) SaveVocalPriv(core int, v *VCPU, now sim.Cycle) sim.Cycle {
+	return e.Save(core, e.vocalImage(v), e.privLines(), now)
+}
+
+// EnterVerify performs the mute side of Enter-DMR: load the mute's own
+// previously saved privileged copy (available from cycle now), then the
+// vocal's user and privileged registers (available once the vocal's
+// save completes at vocalReady), verifying the privileged registers
+// against the mute's copy. It returns the completion cycle and whether
+// privileged state was corrupted while the vocal ran unprotected
+// (detected, as the design requires, before any architected state is
+// updated).
+func (e *Engine) EnterVerify(muteCore int, v *VCPU, now, vocalReady sim.Cycle) (sim.Cycle, bool) {
+	e.Verifies++
+	// Mute's own redundant privileged copy.
+	t := e.Restore(muteCore, e.muteImage(v), e.privLines(), now)
+	// Vocal's full image: user registers, then privileged registers.
+	if vocalReady > t {
+		t = vocalReady
+	}
+	t = e.Restore(muteCore, e.vocalImage(v), e.cfg.VCPUStateLines(), t)
+	// Register-by-register comparison in the state machine.
+	t += sim.Cycle(isa.NumPriv / 8)
+	corrupted := false
+	if v.HasSaved && v.SavedPriv != v.Reg.Priv {
+		corrupted = true
+		e.VerifyFailures++
+		// Recover using the redundant copy.
+		v.Reg.Priv = v.SavedPriv
+	}
+	return t, corrupted
+}

@@ -1,0 +1,237 @@
+// Package workload defines the statistical models of the six
+// commercial workloads the paper evaluates: Apache and Zeus (static web
+// servers driven by Surge), OLTP (TPC-C-like on DB2), pgoltp (TPC-C on
+// PostgreSQL/dbt2), pgbench (TPC-B on PostgreSQL), and pmake (parallel
+// compile of PostgreSQL).
+//
+// The real workloads run on Solaris 9 inside Simics; neither is
+// available here, so each workload is replaced by a parameterized
+// synthetic model that reproduces the observable characteristics the
+// paper's evaluation depends on:
+//
+//   - the interleaving of user and OS execution (Table 2: user bursts
+//     of 59k–554k cycles, OS bursts of 35k–220k cycles),
+//   - serializing-instruction density (with Reunion, SIs stall fetch
+//     15–46% of cycles, worst for OS-intensive workloads),
+//   - the instruction mix and memory locality (hot working sets plus
+//     large DB/server footprints; pmake exhibits very little sharing,
+//     so its baseline C2C rate is tiny, while the commercial workloads
+//     share heavily).
+//
+// Parameters were hand-calibrated so the simulated baseline reproduces
+// Table 2 and the relative IPC/throughput bands of Figures 5 and 6.
+package workload
+
+import "fmt"
+
+// Params is the tuning-knob set for one synthetic workload model.
+type Params struct {
+	Name string
+
+	// Instruction mix for user code (fractions of all instructions;
+	// the remainder is single-cycle ALU work).
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+	MulFrac    float64
+	DivFrac    float64
+
+	// OS behaviour. OS code is branchier, has a higher serializing-
+	// instruction density, and touches kernel data structures.
+	OSLoadFrac   float64
+	OSStoreFrac  float64
+	OSBranchFrac float64
+	OSSIFrac     float64 // serializing instructions in OS code
+	UserSIFrac   float64 // serializing instructions in user code
+
+	// Phase structure: mean dynamic instructions per user burst and
+	// per OS visit (system call, interrupt, page fault). These are the
+	// knobs behind Table 2's user/OS cycle interleaving.
+	UserInstrsPerTrap float64
+	OSInstrsPerTrap   float64
+
+	// Branch prediction.
+	MispredictRate float64
+
+	// Memory behaviour: footprints in 8 KB pages.
+	PrivPages   uint64 // per-VCPU private data
+	SharedPages uint64 // per-guest shared data (DB buffer pool, docroot cache)
+	OSPages     uint64 // per-guest kernel data
+	CodePages   uint64 // application + library text
+	OSCodePages uint64 // kernel text
+
+	// Access locality: a three-tier reuse model. HotFrac of data
+	// accesses re-reference an L1-resident hot set of HotLines lines;
+	// WarmFrac re-reference an L2/L3-resident warm set of WarmLines
+	// lines; the remainder touch cold lines anywhere in the region
+	// footprint (and promote them into the warm set, from which lines
+	// are promoted into the hot set). SharedFrac of user accesses go
+	// to the per-guest shared region (these create C2C transfers).
+	HotFrac   float64
+	HotLines  int
+	WarmFrac  float64
+	WarmLines int
+	// SharedFrac of user data accesses go to the guest's shared region
+	// (buffer pool, document cache). Each thread works on its own rows
+	// and pages, so reuse sets are thread-local; the sharing is of
+	// capacity and of whatever lines threads happen to hand off.
+	SharedFrac float64
+	// SyncFrac of user data accesses (OSSyncFrac of OS accesses) hit
+	// the guest's small set of truly write-shared lines — locks, run
+	// queues, counters — of SyncLines lines. These are the lines whose
+	// stores invalidate every other cache and whose reloads arrive as
+	// 3-hop cache-to-cache transfers.
+	SyncFrac   float64
+	OSSyncFrac float64
+	SyncLines  int
+
+	// Instruction-fetch locality. Fetch runs sequentially for
+	// ICLineRunMean instructions, then transfers to another code line:
+	// with probability ICHotFrac a recently executed line (L1-I
+	// resident loop/function working set of ICHotLines lines),
+	// otherwise a cold line anywhere in the code footprint.
+	ICLineRunMean float64
+	ICHotFrac     float64
+	ICHotLines    int
+
+	// Dependency structure: mean distance (in dynamic instructions)
+	// from a consumer to its producer; smaller = less ILP.
+	DepMean float64
+}
+
+// Validate reports an error if the parameters are not a sane
+// probability model.
+func (p *Params) Validate() error {
+	sum := p.LoadFrac + p.StoreFrac + p.BranchFrac + p.MulFrac + p.DivFrac + p.UserSIFrac
+	if sum > 1 {
+		return fmt.Errorf("workload %s: user instruction mix sums to %.2f > 1", p.Name, sum)
+	}
+	osSum := p.OSLoadFrac + p.OSStoreFrac + p.OSBranchFrac + p.OSSIFrac
+	if osSum > 1 {
+		return fmt.Errorf("workload %s: OS instruction mix sums to %.2f > 1", p.Name, osSum)
+	}
+	if p.UserInstrsPerTrap < 1 || p.OSInstrsPerTrap < 1 {
+		return fmt.Errorf("workload %s: phase lengths must be >= 1", p.Name)
+	}
+	if p.HotFrac < 0 || p.HotFrac > 1 || p.HotLines <= 0 {
+		return fmt.Errorf("workload %s: bad hot-set parameters", p.Name)
+	}
+	if p.PrivPages == 0 || p.CodePages == 0 || p.OSPages == 0 || p.OSCodePages == 0 {
+		return fmt.Errorf("workload %s: zero footprint", p.Name)
+	}
+	return nil
+}
+
+// Names lists the six paper workloads in the order the paper's figures
+// use.
+func Names() []string {
+	return []string{"apache", "oltp", "pgoltp", "pmake", "pgbench", "zeus"}
+}
+
+// ByName returns the parameter preset for a workload name.
+func ByName(name string) (*Params, error) {
+	for _, p := range presets {
+		if p.Name == name {
+			cp := *p
+			return &cp, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// All returns copies of every preset, in figure order.
+func All() []*Params {
+	out := make([]*Params, 0, len(presets))
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// The presets. Calibration targets, from the paper:
+//
+//	            user-cyc  OS-cyc   character
+//	Apache      59k       98k      OS-dominated web serving, heavy sharing
+//	OLTP        218k      52k      DB, large footprint, heavy sharing
+//	pgoltp      210k      35k      DB, similar to OLTP
+//	pmake       312k      47k      compiler, almost no sharing, small WS
+//	pgbench     554k      126k     DB, long user bursts
+//	Zeus        65k       220k     most OS-intensive of all
+var presets = []*Params{
+	{
+		Name:     "apache",
+		LoadFrac: 0.26, StoreFrac: 0.12, BranchFrac: 0.16, MulFrac: 0.01, DivFrac: 0.002,
+		OSLoadFrac: 0.27, OSStoreFrac: 0.13, OSBranchFrac: 0.18, OSSIFrac: 0.008,
+		UserSIFrac:        0.0015,
+		UserInstrsPerTrap: 10_200, OSInstrsPerTrap: 19_200,
+		MispredictRate: 0.04,
+		PrivPages:      192, SharedPages: 3072, OSPages: 1536, CodePages: 96, OSCodePages: 192,
+		HotFrac: 0.86, HotLines: 192, WarmFrac: 0.125, WarmLines: 8192,
+		SharedFrac: 0.24, SyncFrac: 0.024, OSSyncFrac: 0.048, SyncLines: 64,
+		ICLineRunMean: 9, ICHotFrac: 0.988, ICHotLines: 96, DepMean: 2.6,
+	},
+	{
+		Name:     "oltp",
+		LoadFrac: 0.28, StoreFrac: 0.13, BranchFrac: 0.14, MulFrac: 0.012, DivFrac: 0.002,
+		OSLoadFrac: 0.27, OSStoreFrac: 0.12, OSBranchFrac: 0.17, OSSIFrac: 0.003,
+		UserSIFrac:        0.0008,
+		UserInstrsPerTrap: 26_400, OSInstrsPerTrap: 5_100,
+		MispredictRate: 0.045,
+		PrivPages:      256, SharedPages: 8192, OSPages: 1024, CodePages: 160, OSCodePages: 192,
+		HotFrac: 0.84, HotLines: 224, WarmFrac: 0.142, WarmLines: 10240,
+		SharedFrac: 0.30, SyncFrac: 0.030, OSSyncFrac: 0.042, SyncLines: 80,
+		ICLineRunMean: 9, ICHotFrac: 0.990, ICHotLines: 112, DepMean: 2.5,
+	},
+	{
+		Name:     "pgoltp",
+		LoadFrac: 0.27, StoreFrac: 0.12, BranchFrac: 0.15, MulFrac: 0.012, DivFrac: 0.002,
+		OSLoadFrac: 0.26, OSStoreFrac: 0.12, OSBranchFrac: 0.17, OSSIFrac: 0.0025,
+		UserSIFrac:        0.0007,
+		UserInstrsPerTrap: 37_400, OSInstrsPerTrap: 3_300,
+		MispredictRate: 0.042,
+		PrivPages:      256, SharedPages: 7168, OSPages: 1024, CodePages: 144, OSCodePages: 192,
+		HotFrac: 0.85, HotLines: 224, WarmFrac: 0.134, WarmLines: 10240,
+		SharedFrac: 0.27, SyncFrac: 0.027, OSSyncFrac: 0.042, SyncLines: 80,
+		ICLineRunMean: 9, ICHotFrac: 0.990, ICHotLines: 112, DepMean: 2.5,
+	},
+	{
+		Name:     "pmake",
+		LoadFrac: 0.24, StoreFrac: 0.11, BranchFrac: 0.17, MulFrac: 0.008, DivFrac: 0.001,
+		OSLoadFrac: 0.25, OSStoreFrac: 0.12, OSBranchFrac: 0.18, OSSIFrac: 0.0016,
+		UserSIFrac:        0.0004,
+		UserInstrsPerTrap: 92_900, OSInstrsPerTrap: 6_300,
+		MispredictRate: 0.03,
+		PrivPages:      768, SharedPages: 256, OSPages: 768, CodePages: 256, OSCodePages: 192,
+		HotFrac: 0.90, HotLines: 256, WarmFrac: 0.092, WarmLines: 6144,
+		SharedFrac: 0.015, SyncFrac: 0.0006, OSSyncFrac: 0.012, SyncLines: 32,
+		ICLineRunMean: 10, ICHotFrac: 0.994, ICHotLines: 112, DepMean: 2.8,
+	},
+	{
+		Name:     "pgbench",
+		LoadFrac: 0.27, StoreFrac: 0.12, BranchFrac: 0.14, MulFrac: 0.010, DivFrac: 0.002,
+		OSLoadFrac: 0.26, OSStoreFrac: 0.12, OSBranchFrac: 0.17, OSSIFrac: 0.0022,
+		UserSIFrac:        0.0005,
+		UserInstrsPerTrap: 133_600, OSInstrsPerTrap: 20_300,
+		MispredictRate: 0.04,
+		PrivPages:      256, SharedPages: 6144, OSPages: 1024, CodePages: 144, OSCodePages: 192,
+		HotFrac: 0.85, HotLines: 224, WarmFrac: 0.125, WarmLines: 3072,
+		SharedFrac: 0.25, SyncFrac: 0.024, OSSyncFrac: 0.039, SyncLines: 80,
+		ICLineRunMean: 9, ICHotFrac: 0.991, ICHotLines: 112, DepMean: 2.6,
+	},
+	{
+		Name:     "zeus",
+		LoadFrac: 0.25, StoreFrac: 0.12, BranchFrac: 0.16, MulFrac: 0.01, DivFrac: 0.002,
+		OSLoadFrac: 0.27, OSStoreFrac: 0.13, OSBranchFrac: 0.18, OSSIFrac: 0.009,
+		UserSIFrac:        0.0015,
+		UserInstrsPerTrap: 9_100, OSInstrsPerTrap: 38_100,
+		MispredictRate: 0.04,
+		PrivPages:      160, SharedPages: 2560, OSPages: 1792, CodePages: 96, OSCodePages: 224,
+		HotFrac: 0.86, HotLines: 192, WarmFrac: 0.124, WarmLines: 8192,
+		SharedFrac: 0.22, SyncFrac: 0.023, OSSyncFrac: 0.051, SyncLines: 64,
+		ICLineRunMean: 9, ICHotFrac: 0.987, ICHotLines: 96, DepMean: 2.6,
+	},
+}

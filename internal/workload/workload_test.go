@@ -1,0 +1,97 @@
+package workload
+
+import "testing"
+
+func TestAllPresetsValid(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestNamesMatchPresets(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("expected the paper's 6 workloads, got %d", len(names))
+	}
+	for _, n := range names {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("preset %q missing: %v", n, err)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("specjbb"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestByNameReturnsCopy(t *testing.T) {
+	a, _ := ByName("apache")
+	a.LoadFrac = 0.99
+	b, _ := ByName("apache")
+	if b.LoadFrac == 0.99 {
+		t.Fatal("ByName must return an independent copy")
+	}
+}
+
+// TestTable2Character checks the calibration targets' relative shape:
+// Zeus is the most OS-intensive, pgbench has the longest user bursts,
+// pmake shares the least.
+func TestTable2Character(t *testing.T) {
+	get := func(n string) *Params {
+		p, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	zeus, apache, pgbench, pmake := get("zeus"), get("apache"), get("pgbench"), get("pmake")
+	if zeus.OSInstrsPerTrap <= zeus.UserInstrsPerTrap {
+		t.Error("zeus must be OS-dominated")
+	}
+	if apache.OSInstrsPerTrap <= apache.UserInstrsPerTrap {
+		t.Error("apache must be OS-dominated")
+	}
+	for _, other := range []*Params{get("apache"), get("oltp"), get("pgoltp"), get("pmake"), get("zeus")} {
+		if pgbench.UserInstrsPerTrap <= other.UserInstrsPerTrap {
+			t.Errorf("pgbench should have the longest user bursts (vs %s)", other.Name)
+		}
+	}
+	for _, other := range []*Params{get("apache"), get("oltp"), get("pgoltp"), get("pgbench"), get("zeus")} {
+		if pmake.SharedFrac >= other.SharedFrac || pmake.SyncFrac >= other.SyncFrac {
+			t.Errorf("pmake should share the least (vs %s)", other.Name)
+		}
+	}
+}
+
+func TestValidationCatchesBadMixes(t *testing.T) {
+	p, _ := ByName("apache")
+	p.LoadFrac = 0.9
+	p.StoreFrac = 0.9
+	if err := p.Validate(); err == nil {
+		t.Fatal("over-full instruction mix accepted")
+	}
+	p, _ = ByName("apache")
+	p.OSLoadFrac, p.OSStoreFrac, p.OSBranchFrac = 0.5, 0.4, 0.3
+	if err := p.Validate(); err == nil {
+		t.Fatal("over-full OS mix accepted")
+	}
+	p, _ = ByName("apache")
+	p.UserInstrsPerTrap = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero phase length accepted")
+	}
+	p, _ = ByName("apache")
+	p.HotLines = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero hot set accepted")
+	}
+	p, _ = ByName("apache")
+	p.CodePages = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero footprint accepted")
+	}
+}
