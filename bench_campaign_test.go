@@ -1,0 +1,71 @@
+// Campaign-engine benchmarks: the cost of a sweep through the engine
+// cold (every job simulates) versus warm (every job served from the
+// content-addressed cache). The warm path is what repeated figure
+// regeneration and mmmd re-submissions pay.
+package repro
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// benchJobs is the Figure 5 sweep on one workload and seed.
+func benchJobs(b *testing.B) []campaign.Job {
+	spec, err := campaign.Named("figure5", []string{"apache"}, []uint64{11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jobs
+}
+
+func benchScale() campaign.Scale {
+	return campaign.Scale{Warmup: 60_000, Measure: 120_000, Timeslice: 40_000}
+}
+
+// BenchmarkCampaignCold measures the engine with no cache: every
+// iteration simulates the full job set.
+func BenchmarkCampaignCold(b *testing.B) {
+	jobs := benchJobs(b)
+	eng := campaign.New(campaign.Options{Parallel: runtime.NumCPU()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), benchScale(), jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignWarm measures the same sweep against a warm disk
+// cache: job expansion, fingerprinting, cache reads and aggregation,
+// but no simulation.
+func BenchmarkCampaignWarm(b *testing.B) {
+	jobs := benchJobs(b)
+	cache, err := campaign.NewDiskCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := campaign.New(campaign.Options{Parallel: runtime.NumCPU(), Cache: cache})
+	if _, err := eng.Run(context.Background(), benchScale(), jobs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := eng.Run(context.Background(), benchScale(), jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Hits != len(jobs) {
+			b.Fatalf("warm run missed: %d/%d", rs.Hits, len(jobs))
+		}
+		if rows := campaign.Summarize(rs); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}

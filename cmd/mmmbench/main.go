@@ -5,31 +5,45 @@
 //	mmmbench -exp fig5a       # one experiment
 //	mmmbench -quick           # reduced scale (fast smoke run)
 //	mmmbench -measure 3000000 # override the measurement window
+//	mmmbench -cache ./cache   # reuse results across invocations
+//	mmmbench -json out.json   # machine-readable per-experiment results
 //
 // Experiments: fig5a, fig5b, fig6a, fig6b, table1, table2, pab,
 // singleos, faults.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/exp"
 	"repro/internal/sim"
 )
 
+// expResult is one experiment's machine-readable record, consumed by
+// the perf-trajectory BENCH_*.json tooling.
+type expResult struct {
+	Experiment string  `json:"experiment"`
+	Rows       int     `json:"rows"`
+	WallMS     float64 `json:"wall_ms"`
+}
+
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment: all,fig5a,fig5b,fig6a,fig6b,table1,table2,pab,singleos,faults")
-		quick   = flag.Bool("quick", false, "reduced scale for a fast smoke run")
-		warmup  = flag.Uint64("warmup", 0, "override warmup cycles")
-		measure = flag.Uint64("measure", 0, "override measurement cycles")
-		slice   = flag.Uint64("timeslice", 0, "override gang-scheduling timeslice cycles")
-		seeds   = flag.Int("seeds", 0, "override number of seeds")
-		par     = flag.Int("parallel", 0, "override worker parallelism")
+		which    = flag.String("exp", "all", "experiment: all,fig5a,fig5b,fig6a,fig6b,table1,table2,pab,singleos,faults")
+		quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+		warmup   = flag.Uint64("warmup", 0, "override warmup cycles")
+		measure  = flag.Uint64("measure", 0, "override measurement cycles")
+		slice    = flag.Uint64("timeslice", 0, "override gang-scheduling timeslice cycles")
+		seeds    = flag.Int("seeds", 0, "override number of seeds")
+		par      = flag.Int("parallel", 0, "override worker parallelism")
+		cacheDir = flag.String("cache", "", "campaign result cache directory (empty = no cache)")
+		jsonOut  = flag.String("json", "", "write per-experiment results as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 
@@ -55,103 +69,160 @@ func main() {
 	if *par > 0 {
 		cfg.Parallel = *par
 	}
+	if *cacheDir != "" {
+		cache, err := campaign.NewDiskCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmmbench: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Cache = cache
+	}
 
-	run := func(name string, fn func() error) {
+	var results []expResult
+	matched := false
+	run := func(name string, fn func() (int, error)) {
 		if *which != "all" && !strings.EqualFold(*which, name) {
 			return
 		}
+		matched = true
 		start := time.Now()
-		if err := fn(); err != nil {
+		rows, err := fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmmbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		fmt.Printf("[%s completed in %v]\n\n", name, wall.Round(time.Millisecond))
+		results = append(results, expResult{
+			Experiment: name,
+			Rows:       rows,
+			WallMS:     float64(wall.Microseconds()) / 1000,
+		})
 	}
 
 	var fig5 []exp.Fig5Row
-	run("fig5a", func() error {
+	run("fig5a", func() (int, error) {
 		rows, err := exp.Figure5(cfg)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fig5 = rows
 		fmt.Println(exp.Figure5aTable(rows))
-		return nil
+		return len(rows), nil
 	})
-	run("fig5b", func() error {
+	run("fig5b", func() (int, error) {
 		rows := fig5
 		if rows == nil {
 			var err error
 			rows, err = exp.Figure5(cfg)
 			if err != nil {
-				return err
+				return 0, err
 			}
 		}
 		fmt.Println(exp.Figure5bTable(rows))
-		return nil
+		return len(rows), nil
 	})
 
 	var fig6 []exp.Fig6Row
-	run("fig6a", func() error {
+	run("fig6a", func() (int, error) {
 		rows, err := exp.Figure6(cfg)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fig6 = rows
 		fmt.Println(exp.Figure6aTable(rows))
-		return nil
+		return len(rows), nil
 	})
-	run("fig6b", func() error {
+	run("fig6b", func() (int, error) {
 		rows := fig6
 		if rows == nil {
 			var err error
 			rows, err = exp.Figure6(cfg)
 			if err != nil {
-				return err
+				return 0, err
 			}
 		}
 		fmt.Println(exp.Figure6bTable(rows))
-		return nil
+		return len(rows), nil
 	})
 
-	run("table1", func() error {
+	run("table1", func() (int, error) {
 		rows, err := exp.Table1(cfg)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Println(exp.Table1Table(rows))
-		return nil
+		return len(rows), nil
 	})
-	run("table2", func() error {
+	run("table2", func() (int, error) {
 		rows, err := exp.Table2(cfg)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Println(exp.Table2Table(rows))
-		return nil
+		return len(rows), nil
 	})
-	run("pab", func() error {
+	run("pab", func() (int, error) {
 		rows, err := exp.PABStudy(cfg)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Println(exp.PABTable(rows))
-		return nil
+		return len(rows), nil
 	})
-	run("singleos", func() error {
+	run("singleos", func() (int, error) {
 		rows, err := exp.SingleOSOverhead(cfg)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Println(exp.SingleOSTable(rows))
-		return nil
+		return len(rows), nil
 	})
-	run("faults", func() error {
+	run("faults", func() (int, error) {
 		rows, err := exp.FaultStudy(cfg, "apache", 40_000)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Println(exp.FaultTable(rows))
+		return len(rows), nil
+	})
+
+	if !matched {
+		fmt.Fprintf(os.Stderr, "mmmbench: unknown experiment %q (see -exp usage)\n", *which)
+		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, results); err != nil {
+			fmt.Fprintf(os.Stderr, "mmmbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeJSON emits the per-experiment records to path ("-" = stdout).
+func writeJSON(path string, results []expResult) error {
+	var total float64
+	for _, r := range results {
+		total += r.WallMS
+	}
+	doc := struct {
+		Experiments []expResult `json:"experiments"`
+		TotalWallMS float64     `json:"total_wall_ms"`
+	}{Experiments: results, TotalWallMS: total}
+	if doc.Experiments == nil {
+		doc.Experiments = []expResult{}
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
-		fmt.Println(exp.FaultTable(rows))
-		return nil
-	})
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

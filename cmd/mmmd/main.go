@@ -1,0 +1,77 @@
+// Command mmmd serves the Mixed-Mode Multicore simulation sweeps over
+// HTTP: submit a named campaign, poll its progress, fetch its
+// aggregated results as JSON or CSV. Completed jobs land in a
+// content-addressed on-disk cache shared by every campaign, so
+// re-submitted or overlapping sweeps resume from cached results
+// instead of re-simulating.
+//
+//	mmmd -addr :8077 -cache ./mmmd-cache
+//
+//	curl localhost:8077/catalog
+//	curl -X POST localhost:8077/campaigns \
+//	    -d '{"name":"figure5","scale":"quick"}'
+//	curl localhost:8077/campaigns/c1
+//	curl localhost:8077/campaigns/c1/results
+//	curl 'localhost:8077/campaigns/c1/results?format=csv'
+//	curl -X POST localhost:8077/campaigns/c1/cancel
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8077", "listen address")
+		cacheDir  = flag.String("cache", "mmmd-cache", "result cache directory (empty disables caching)")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker-pool size per campaign")
+		campaigns = flag.Int("campaigns", 2, "campaigns executing concurrently")
+	)
+	flag.Parse()
+
+	var cache campaign.Cache
+	if *cacheDir != "" {
+		dc, err := campaign.NewDiskCache(*cacheDir)
+		if err != nil {
+			log.Fatalf("mmmd: %v", err)
+		}
+		cache = dc
+		log.Printf("mmmd: result cache at %s", dc.Dir())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := newServer(ctx, cache, *parallel, *campaigns)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	go func() {
+		<-ctx.Done()
+		// Graceful shutdown: stop accepting requests, cancel running
+		// campaigns (completed jobs are already cached, so they resume
+		// on the next submission), and drain the workers.
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Printf("mmmd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("mmmd: listening on %s (%d workers, %d concurrent campaigns)",
+		*addr, *parallel, *campaigns)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("mmmd: %v", err)
+	}
+	srv.drain()
+	log.Print("mmmd: drained, bye")
+}

@@ -1,0 +1,342 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// submitRequest is the body of POST /campaigns: a named campaign plus
+// optional axis and scale overrides.
+type submitRequest struct {
+	// Name selects a registered campaign (GET /catalog lists them).
+	Name string `json:"name"`
+	// Scale is "default" or "quick"; empty means "default".
+	Scale string `json:"scale,omitempty"`
+	// Warmup/Measure/Timeslice override individual scale windows.
+	Warmup    uint64 `json:"warmup,omitempty"`
+	Measure   uint64 `json:"measure,omitempty"`
+	Timeslice uint64 `json:"timeslice,omitempty"`
+	// Workloads and Seeds override the sweep axes.
+	Workloads []string `json:"workloads,omitempty"`
+	Seeds     []uint64 `json:"seeds,omitempty"`
+}
+
+// run is one submitted campaign and its execution state.
+type run struct {
+	mu       sync.Mutex
+	id       string
+	name     string
+	scale    campaign.Scale
+	status   string // queued, running, done, failed, canceled
+	total    int
+	done     int
+	hits     int
+	errMsg   string
+	wall     time.Duration
+	rows     []stats.Row
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+}
+
+// runStatus is the JSON rendering of a run's state.
+type runStatus struct {
+	ID       string         `json:"id"`
+	Name     string         `json:"name"`
+	Scale    campaign.Scale `json:"scale"`
+	Status   string         `json:"status"`
+	Jobs     int            `json:"jobs"`
+	Done     int            `json:"done"`
+	CacheHit int            `json:"cache_hits"`
+	Error    string         `json:"error,omitempty"`
+	WallMS   int64          `json:"wall_ms,omitempty"`
+}
+
+func (r *run) snapshot() runStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return runStatus{
+		ID:       r.id,
+		Name:     r.name,
+		Scale:    r.scale,
+		Status:   r.status,
+		Jobs:     r.total,
+		Done:     r.done,
+		CacheHit: r.hits,
+		Error:    r.errMsg,
+		WallMS:   r.wall.Milliseconds(),
+	}
+}
+
+// server executes submitted campaigns concurrently (bounded by sem) on
+// a shared result cache, so overlapping campaigns reuse each other's
+// simulations.
+type server struct {
+	cache    campaign.Cache
+	parallel int
+	sem      chan struct{}
+	baseCtx  context.Context
+	wg       sync.WaitGroup
+
+	mu   sync.Mutex
+	seq  int
+	runs map[string]*run
+}
+
+// newServer builds a server. maxCampaigns bounds how many campaigns
+// execute at once; parallel bounds each campaign's worker pool.
+func newServer(ctx context.Context, cache campaign.Cache, parallel, maxCampaigns int) *server {
+	if maxCampaigns < 1 {
+		maxCampaigns = 1
+	}
+	return &server{
+		cache:    cache,
+		parallel: parallel,
+		sem:      make(chan struct{}, maxCampaigns),
+		baseCtx:  ctx,
+		runs:     make(map[string]*run),
+	}
+}
+
+// handler routes the service's endpoints.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /catalog", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"campaigns": campaign.Names()})
+	})
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
+	return mux
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var body submitRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sc, err := scaleOf(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	seeds := body.Seeds
+	if len(seeds) == 0 && body.Scale == "quick" {
+		// The quick preset means the same jobs here as mmmbench -quick,
+		// so the two front ends share cache entries.
+		seeds = campaign.QuickSeeds()
+	}
+	spec, err := campaign.Named(body.Name, body.Workloads, seeds)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	s.mu.Lock()
+	s.seq++
+	r := &run{
+		id:     fmt.Sprintf("c%d", s.seq),
+		name:   body.Name,
+		scale:  sc,
+		status: "queued",
+		total:  len(jobs),
+		cancel: cancel,
+	}
+	s.runs[r.id] = r
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.execute(ctx, r, jobs)
+
+	writeJSON(w, http.StatusAccepted, r.snapshot())
+}
+
+// execute runs one campaign to completion, respecting the
+// per-service concurrency bound.
+func (s *server) execute(ctx context.Context, r *run, jobs []campaign.Job) {
+	defer s.wg.Done()
+	defer r.cancel()
+
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		r.finish(nil, nil, ctx.Err())
+		return
+	}
+
+	r.mu.Lock()
+	r.status = "running"
+	r.started = time.Now()
+	r.mu.Unlock()
+
+	eng := campaign.New(campaign.Options{
+		Parallel: s.parallel,
+		Cache:    s.cache,
+		OnProgress: func(done, total, hits int) {
+			r.mu.Lock()
+			r.done, r.hits = done, hits
+			r.mu.Unlock()
+		},
+	})
+	rs, err := eng.Run(ctx, r.scale, jobs)
+	if err != nil {
+		r.finish(nil, nil, err)
+		return
+	}
+	r.finish(rs, campaign.Summarize(rs), nil)
+}
+
+// finish records a campaign's terminal state.
+func (r *run) finish(rs *campaign.ResultSet, rows []stats.Row, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finished = time.Now()
+	if !r.started.IsZero() {
+		r.wall = r.finished.Sub(r.started)
+	}
+	switch {
+	case err == context.Canceled:
+		r.status = "canceled"
+	case err != nil:
+		r.status = "failed"
+		r.errMsg = err.Error()
+	default:
+		r.status = "done"
+		r.rows = rows
+		r.hits = rs.Hits
+		r.done = len(rs.Results)
+		r.wall = rs.Wall
+	}
+}
+
+func (s *server) lookup(w http.ResponseWriter, req *http.Request) *run {
+	s.mu.Lock()
+	r := s.runs[req.PathValue("id")]
+	s.mu.Unlock()
+	if r == nil {
+		httpError(w, http.StatusNotFound, "no campaign %q", req.PathValue("id"))
+	}
+	return r
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		ids = append(ids, r)
+	}
+	s.mu.Unlock()
+	out := make([]runStatus, 0, len(ids))
+	for _, r := range ids {
+		out = append(out, r.snapshot())
+	}
+	// Submission order: ids are "c<seq>", so shorter ids sort first.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	if r := s.lookup(w, req); r != nil {
+		writeJSON(w, http.StatusOK, r.snapshot())
+	}
+}
+
+func (s *server) handleResults(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(w, req)
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	status, rows := r.status, r.rows
+	r.mu.Unlock()
+	if status != "done" {
+		httpError(w, http.StatusConflict, "campaign %s is %s, results require done", r.id, status)
+		return
+	}
+	switch req.URL.Query().Get("format") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = stats.WriteRowsJSON(w, rows)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		_ = stats.WriteRowsCSV(w, rows)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (json, csv)", req.URL.Query().Get("format"))
+	}
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(w, req)
+	if r == nil {
+		return
+	}
+	r.cancel()
+	writeJSON(w, http.StatusOK, r.snapshot())
+}
+
+// drain waits for all campaign goroutines to finish; the caller cancels
+// the base context first during shutdown.
+func (s *server) drain() { s.wg.Wait() }
+
+// scaleOf resolves the request's scale preset and overrides.
+func scaleOf(body submitRequest) (campaign.Scale, error) {
+	var sc campaign.Scale
+	switch body.Scale {
+	case "", "default":
+		sc = campaign.DefaultScale()
+	case "quick":
+		sc = campaign.QuickScale()
+	default:
+		return sc, fmt.Errorf("unknown scale %q (default, quick)", body.Scale)
+	}
+	if body.Warmup > 0 {
+		sc.Warmup = sim.Cycle(body.Warmup)
+	}
+	if body.Measure > 0 {
+		sc.Measure = sim.Cycle(body.Measure)
+	}
+	if body.Timeslice > 0 {
+		sc.Timeslice = sim.Cycle(body.Timeslice)
+	}
+	return sc, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// micro is a submit body small enough for tests: one workload, one
+// seed, tiny windows.
+const micro = `{"name":"table2","scale":"quick",` +
+	`"warmup":30000,"measure":60000,"timeslice":20000,` +
+	`"workloads":["apache"],"seeds":[11]}`
+
+func testService(t *testing.T) *httptest.Server {
+	t.Helper()
+	cache, err := campaign.NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(context.Background(), cache, 2, 2)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func do(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// submitAndWait submits a campaign and polls until it reaches a
+// terminal state, returning the final status.
+func submitAndWait(t *testing.T, ts *httptest.Server, body string) runStatus {
+	t.Helper()
+	code, data := do(t, http.MethodPost, ts.URL+"/campaigns", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, data)
+	}
+	var st runStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		code, data = do(t, http.MethodGet, ts.URL+"/campaigns/"+st.ID, "")
+		if code != http.StatusOK {
+			t.Fatalf("status: %d %s", code, data)
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		switch st.Status {
+		case "done", "failed", "canceled":
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck in %s", st.ID, st.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestHealthAndCatalog(t *testing.T) {
+	ts := testService(t)
+	if code, _ := do(t, http.MethodGet, ts.URL+"/healthz", ""); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	code, data := do(t, http.MethodGet, ts.URL+"/catalog", "")
+	if code != http.StatusOK || !bytes.Contains(data, []byte("figure5")) {
+		t.Fatalf("catalog: %d %s", code, data)
+	}
+}
+
+func TestSubmitRejectsBadRequests(t *testing.T) {
+	ts := testService(t)
+	for _, body := range []string{
+		"{not json",
+		`{"name":"nope"}`,
+		`{"name":"figure5","scale":"galactic"}`,
+		`{"name":"figure5","workloads":["nope"]}`,
+	} {
+		if code, _ := do(t, http.MethodPost, ts.URL+"/campaigns", body); code != http.StatusBadRequest {
+			t.Errorf("submit %q: code %d, want 400", body, code)
+		}
+	}
+	if code, _ := do(t, http.MethodGet, ts.URL+"/campaigns/c99", ""); code != http.StatusNotFound {
+		t.Errorf("unknown id: %d, want 404", code)
+	}
+}
+
+func TestSubmitRunFetchAndCachedResubmit(t *testing.T) {
+	ts := testService(t)
+
+	st := submitAndWait(t, ts, micro)
+	if st.Status != "done" {
+		t.Fatalf("first run: %+v", st)
+	}
+	if st.CacheHit != 0 || st.Done != st.Jobs {
+		t.Fatalf("first run should be all misses: %+v", st)
+	}
+
+	code, res1 := do(t, http.MethodGet, ts.URL+"/campaigns/"+st.ID+"/results", "")
+	if code != http.StatusOK || !bytes.Contains(res1, []byte(`"key"`)) {
+		t.Fatalf("results: %d %s", code, res1)
+	}
+	code, csv := do(t, http.MethodGet, ts.URL+"/campaigns/"+st.ID+"/results?format=csv", "")
+	if code != http.StatusOK || !bytes.HasPrefix(csv, []byte("key,metric,")) {
+		t.Fatalf("csv results: %d %s", code, csv)
+	}
+
+	// Re-submitting the same campaign must complete from cache alone
+	// and emit byte-identical rows.
+	st2 := submitAndWait(t, ts, micro)
+	if st2.Status != "done" || st2.CacheHit != st2.Jobs {
+		t.Fatalf("resubmit not fully cached: %+v", st2)
+	}
+	_, res2 := do(t, http.MethodGet, ts.URL+"/campaigns/"+st2.ID+"/results", "")
+	if !bytes.Equal(res1, res2) {
+		t.Fatalf("cached rerun rows differ:\n%s\nvs\n%s", res1, res2)
+	}
+
+	// The listing shows both campaigns in submission order.
+	code, data := do(t, http.MethodGet, ts.URL+"/campaigns", "")
+	if code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	var list struct {
+		Campaigns []runStatus `json:"campaigns"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Campaigns) != 2 || list.Campaigns[0].ID != st.ID || list.Campaigns[1].ID != st2.ID {
+		t.Fatalf("list: %s", data)
+	}
+}
+
+func TestResultsBeforeDoneConflicts(t *testing.T) {
+	ts := testService(t)
+	// Submit a long campaign and immediately ask for results.
+	code, data := do(t, http.MethodPost, ts.URL+"/campaigns",
+		`{"name":"figure6","scale":"quick","workloads":["apache"],"seeds":[11]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, data)
+	}
+	var st runStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ = do(t, http.MethodGet, ts.URL+"/campaigns/"+st.ID+"/results", ""); code != http.StatusConflict {
+		t.Fatalf("results while running: %d, want 409", code)
+	}
+	// Cancel it and confirm the terminal state is visible.
+	if code, _ = do(t, http.MethodPost, ts.URL+"/campaigns/"+st.ID+"/cancel", ""); code != http.StatusOK {
+		t.Fatalf("cancel: %d", code)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		_, data = do(t, http.MethodGet, ts.URL+"/campaigns/"+st.ID, "")
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == "canceled" || st.Status == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel never landed: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Cache stores completed job results keyed by content fingerprint
+// (Job.Fingerprint). Implementations must be safe for concurrent use.
+type Cache interface {
+	// Get returns the cached metrics for key, if present.
+	Get(key string) (core.Metrics, bool)
+	// Put stores the metrics for key.
+	Put(key string, m core.Metrics) error
+}
+
+// MemCache is an in-process Cache, useful for sharing simulation work
+// inside one process (tests, the mmmd service's hot set).
+type MemCache struct {
+	mu sync.RWMutex
+	m  map[string]core.Metrics
+}
+
+// NewMemCache returns an empty in-memory cache.
+func NewMemCache() *MemCache { return &MemCache{m: make(map[string]core.Metrics)} }
+
+// Get implements Cache.
+func (c *MemCache) Get(key string) (core.Metrics, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.m[key]
+	return m, ok
+}
+
+// Put implements Cache.
+func (c *MemCache) Put(key string, m core.Metrics) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = m
+	return nil
+}
+
+// Len reports the number of cached results.
+func (c *MemCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// DiskCache is a content-addressed on-disk Cache: each result lives at
+// <dir>/<fp[:2]>/<fp>.json. Interrupted campaigns resume for free — on
+// the next run every already-completed job is a cache hit — and
+// overlapping campaigns share each other's work. Writes go through a
+// temp file plus rename so concurrent writers and readers never see a
+// torn entry.
+type DiskCache struct {
+	dir string
+}
+
+// NewDiskCache opens (creating if needed) a disk cache rooted at dir.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: cache dir: %w", err)
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *DiskCache) Dir() string { return c.dir }
+
+func (c *DiskCache) path(key string) string {
+	if len(key) < 2 {
+		key = "__" + key
+	}
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get implements Cache.
+func (c *DiskCache) Get(key string) (core.Metrics, bool) {
+	var m core.Metrics
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return m, false
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		// A corrupt entry is treated as a miss; the rerun overwrites it.
+		return core.Metrics{}, false
+	}
+	return m, true
+}
+
+// Put implements Cache.
+func (c *DiskCache) Put(key string, m core.Metrics) error {
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}

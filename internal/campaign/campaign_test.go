@@ -1,0 +1,207 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// microScale keeps engine tests fast: just enough cycles for caches to
+// fill and a few timeslices to elapse.
+func microScale() Scale {
+	return Scale{Warmup: 30_000, Measure: 60_000, Timeslice: 20_000}
+}
+
+func TestSpecExpandCrossProduct(t *testing.T) {
+	s := Spec{
+		Name:      "x",
+		Kinds:     []core.Kind{core.KindNoDMR, core.KindReunion},
+		Workloads: []string{"apache", "oltp"},
+		Seeds:     []uint64{1, 2, 3},
+		Variants:  []Variant{{}, {Name: "tso", Knobs: Knobs{TSO: true}}},
+	}
+	jobs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2*2*3*2 {
+		t.Fatalf("expanded %d jobs, want 24", len(jobs))
+	}
+	// Deterministic: a second expansion is identical.
+	again, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i] != again[i] {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, jobs[i], again[i])
+		}
+	}
+}
+
+func TestSpecExpandDefaultsAndValidation(t *testing.T) {
+	s := Spec{Name: "d", Kinds: []core.Kind{core.KindNoDMR}}
+	jobs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 6*2 { // all workloads x default seeds
+		t.Fatalf("expanded %d jobs, want 12", len(jobs))
+	}
+	if _, err := (Spec{Name: "e"}).Expand(); err == nil {
+		t.Fatal("empty spec must not expand")
+	}
+	if _, err := (Spec{Name: "bad", Kinds: []core.Kind{core.KindNoDMR}, Workloads: []string{"nope"}}).Expand(); err == nil {
+		t.Fatal("unknown workload must be rejected at expansion")
+	}
+}
+
+func TestSpecExpandDedupes(t *testing.T) {
+	j := Job{Workload: "apache", Kind: core.KindNoDMR, Seed: 1}
+	jobs, err := (Spec{Name: "dup", Jobs: []Job{j, j, j}}).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("dedupe kept %d jobs, want 1", len(jobs))
+	}
+}
+
+func TestJobKeyAndFingerprint(t *testing.T) {
+	j := Job{Workload: "apache", Kind: core.KindMMMIPC, Seed: 11}
+	if j.Key() != "apache/MMM-IPC" {
+		t.Fatal(j.Key())
+	}
+	j.Variant = "serial"
+	if j.Key() != "apache/MMM-IPC/serial" {
+		t.Fatal(j.Key())
+	}
+
+	sc := microScale()
+	base := j.Fingerprint(sc)
+	perturb := []Job{
+		{Workload: "oltp", Kind: j.Kind, Seed: j.Seed, Variant: j.Variant},
+		{Workload: j.Workload, Kind: core.KindMMMTP, Seed: j.Seed, Variant: j.Variant},
+		{Workload: j.Workload, Kind: j.Kind, Seed: 12, Variant: j.Variant},
+		{Workload: j.Workload, Kind: j.Kind, Seed: j.Seed, Variant: "parallel"},
+		{Workload: j.Workload, Kind: j.Kind, Seed: j.Seed, Variant: j.Variant, Knobs: Knobs{PABSerial: true}},
+		{Workload: j.Workload, Kind: j.Kind, Seed: j.Seed, Variant: j.Variant, Knobs: Knobs{FaultInterval: 1000}},
+	}
+	for i, p := range perturb {
+		if p.Fingerprint(sc) == base {
+			t.Errorf("perturbation %d did not change the fingerprint", i)
+		}
+	}
+	if j.Fingerprint(Scale{Warmup: 1, Measure: 2, Timeslice: 3}) == base {
+		t.Error("scale change did not change the fingerprint")
+	}
+	if j.Fingerprint(sc) != base {
+		t.Error("fingerprint not stable")
+	}
+}
+
+func TestSimSeedDecorrelatesCells(t *testing.T) {
+	a := Job{Workload: "apache", Kind: core.KindNoDMR, Seed: 11}
+	b := Job{Workload: "oltp", Kind: core.KindNoDMR, Seed: 11}
+	c := Job{Workload: "apache", Kind: core.KindReunion, Seed: 11}
+	if a.SimSeed() == b.SimSeed() || a.SimSeed() == c.SimSeed() {
+		t.Fatal("cells sharing a declared seed must get distinct sim seeds")
+	}
+	if a.SimSeed() != a.SimSeed() {
+		t.Fatal("sim seed not stable")
+	}
+}
+
+func TestRegistryNamesExpand(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no registered campaigns")
+	}
+	for _, n := range names {
+		spec, err := Named(n, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs, err := spec.Expand()
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if len(jobs) == 0 {
+			t.Fatalf("%s: expanded to no jobs", n)
+		}
+	}
+	if _, err := Named("nope", nil, nil); err == nil {
+		t.Fatal("unknown campaign name must error")
+	}
+}
+
+func TestEnginePropagatesErrors(t *testing.T) {
+	eng := New(Options{Parallel: 2})
+	_, err := eng.Run(context.Background(), microScale(),
+		[]Job{{Workload: "nope", Kind: core.KindNoDMR, Seed: 1}})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("bad workload not reported: %v", err)
+	}
+}
+
+func TestEngineHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := New(Options{Parallel: 2})
+	_, err := eng.Run(ctx, microScale(),
+		[]Job{{Workload: "apache", Kind: core.KindNoDMR, Seed: 1}})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEngineProgressCallback(t *testing.T) {
+	var calls int
+	var lastDone, lastTotal int
+	eng := New(Options{Parallel: 1, OnProgress: func(done, total, hits int) {
+		calls++
+		lastDone, lastTotal = done, total
+	}})
+	jobs := []Job{
+		{Workload: "apache", Kind: core.KindNoDMR, Seed: 1},
+		{Workload: "apache", Kind: core.KindNoDMR, Seed: 2},
+	}
+	if _, err := eng.Run(context.Background(), microScale(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || lastDone != 2 || lastTotal != 2 {
+		t.Fatalf("progress calls=%d last=%d/%d", calls, lastDone, lastTotal)
+	}
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	c, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("deadbeef"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	m := core.Metrics{
+		Kind:       core.KindMMMTP,
+		Workload:   "apache",
+		Cycles:     123,
+		GuestUser:  map[string]uint64{"perf": 42, "reliable": 7},
+		GuestOS:    map[string]uint64{"perf": 1},
+		GuestVCPUs: map[string]int{"perf": 16, "reliable": 8},
+		EnterAvg:   2200.5,
+	}
+	if err := c.Put("deadbeef", m); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("deadbeef")
+	if !ok {
+		t.Fatal("stored entry not found")
+	}
+	if got.Cycles != m.Cycles || got.GuestUser["perf"] != 42 ||
+		got.GuestVCPUs["reliable"] != 8 || got.EnterAvg != 2200.5 {
+		t.Fatalf("round trip mangled metrics: %+v", got)
+	}
+}

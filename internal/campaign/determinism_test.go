@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// determinismJobs is a small but representative sweep: two system
+// kinds, two seeds, one knob variant.
+func determinismJobs(t *testing.T) []Job {
+	t.Helper()
+	spec, err := Named("tso", []string{"apache"}, []uint64{11, 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// summarizeJSON runs jobs on an engine and renders the aggregated rows
+// as canonical JSON bytes.
+func summarizeJSON(t *testing.T, eng *Engine, jobs []Job) ([]byte, *ResultSet) {
+	t.Helper()
+	rs, err := eng.Run(context.Background(), microScale(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := stats.WriteRowsJSON(&buf, Summarize(rs)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rs
+}
+
+// TestParallelismDeterminism: the same spec run with Parallel=1 and
+// Parallel=NumCPU must produce byte-identical aggregated results — the
+// worker pool's scheduling must not leak into the output.
+func TestParallelismDeterminism(t *testing.T) {
+	jobs := determinismJobs(t)
+	seq, _ := summarizeJSON(t, New(Options{Parallel: 1}), jobs)
+	par, _ := summarizeJSON(t, New(Options{Parallel: runtime.NumCPU()}), jobs)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("sequential and parallel runs diverge:\nseq: %s\npar: %s", seq, par)
+	}
+	if len(seq) == 0 || string(seq) == "[]\n" {
+		t.Fatal("summary is empty")
+	}
+}
+
+// TestCacheWarmRerunIdentical: a rerun against a warm cache must hit on
+// every job and emit byte-identical rows.
+func TestCacheWarmRerunIdentical(t *testing.T) {
+	jobs := determinismJobs(t)
+	cache, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Options{Parallel: runtime.NumCPU(), Cache: cache})
+
+	cold, rs := summarizeJSON(t, eng, jobs)
+	if rs.Hits != 0 || rs.Misses != len(jobs) {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/%d", rs.Hits, rs.Misses, len(jobs))
+	}
+	warm, rs2 := summarizeJSON(t, eng, jobs)
+	if rs2.Hits != len(jobs) || rs2.Misses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d, want %d/0", rs2.Hits, rs2.Misses, len(jobs))
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm rerun diverges from cold run:\ncold: %s\nwarm: %s", cold, warm)
+	}
+}
+
+// TestInterruptedCampaignResumes: a campaign that only partially
+// completed resumes from the cache — already-finished jobs are hits,
+// only the remainder simulates — and the final output matches an
+// uninterrupted run.
+func TestInterruptedCampaignResumes(t *testing.T) {
+	jobs := determinismJobs(t)
+	if len(jobs) < 4 {
+		t.Fatalf("need >= 4 jobs, have %d", len(jobs))
+	}
+	cache, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Options{Parallel: 2, Cache: cache})
+
+	// "Interrupted": only the first half of the campaign completed.
+	half := jobs[:len(jobs)/2]
+	if _, err := eng.Run(context.Background(), microScale(), half); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, rs := summarizeJSON(t, eng, jobs)
+	if rs.Hits != len(half) || rs.Misses != len(jobs)-len(half) {
+		t.Fatalf("resume: hits=%d misses=%d, want %d/%d",
+			rs.Hits, rs.Misses, len(half), len(jobs)-len(half))
+	}
+
+	full, _ := summarizeJSON(t, New(Options{Parallel: 2}), jobs)
+	if !bytes.Equal(resumed, full) {
+		t.Fatal("resumed campaign output differs from an uninterrupted run")
+	}
+}

@@ -1,0 +1,253 @@
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Parallel bounds the worker pool; values below 1 use NumCPU.
+	Parallel int
+	// Cache, when non-nil, is consulted before and written after every
+	// job.
+	Cache Cache
+	// OnProgress, when non-nil, is called after every completed job
+	// with the running totals (done out of total, cache hits so far).
+	OnProgress func(done, total, hits int)
+}
+
+// Engine executes expanded job sets. It is stateless apart from its
+// options and safe for concurrent Run calls (the mmmd service runs
+// several campaigns at once on one engine).
+type Engine struct {
+	opts Options
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	if opts.Parallel < 1 {
+		opts.Parallel = runtime.NumCPU()
+	}
+	return &Engine{opts: opts}
+}
+
+// Result is one completed job with its metrics and cache provenance.
+type Result struct {
+	Job      Job
+	Metrics  core.Metrics
+	CacheHit bool
+}
+
+// ResultSet holds a campaign's completed jobs in expansion order —
+// independent of worker-pool scheduling, so aggregation over it is
+// deterministic for any parallelism.
+type ResultSet struct {
+	Scale   Scale
+	Results []Result
+	Hits    int
+	Misses  int
+	Wall    time.Duration
+}
+
+// ByKey groups metrics by aggregation key, preserving expansion order
+// within each key.
+func (rs *ResultSet) ByKey() map[string][]core.Metrics {
+	out := make(map[string][]core.Metrics)
+	for _, r := range rs.Results {
+		k := r.Job.Key()
+		out[k] = append(out[k], r.Metrics)
+	}
+	return out
+}
+
+// Run executes jobs on the bounded pool, serving and filling the cache,
+// and returns the ordered results. It stops early when ctx is
+// cancelled or a job fails, returning the first error.
+func (e *Engine) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet, error) {
+	start := time.Now()
+	rs := &ResultSet{Scale: sc, Results: make([]Result, len(jobs))}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		hits     int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	finish := func(hit bool) {
+		mu.Lock()
+		done++
+		if hit {
+			hits++
+		}
+		// The callback runs under the lock so progress is delivered in
+		// order; consumers must not call back into the engine.
+		if e.opts.OnProgress != nil {
+			e.opts.OnProgress(done, len(jobs), hits)
+		}
+		mu.Unlock()
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < e.opts.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				j := jobs[i]
+				fp := j.Fingerprint(sc)
+				if e.opts.Cache != nil {
+					if m, ok := e.opts.Cache.Get(fp); ok {
+						rs.Results[i] = Result{Job: j, Metrics: m, CacheHit: true}
+						finish(true)
+						continue
+					}
+				}
+				m, err := runJob(sc, j)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if e.opts.Cache != nil {
+					if err := e.opts.Cache.Put(fp, m); err != nil {
+						fail(err)
+						return
+					}
+				}
+				rs.Results[i] = Result{Job: j, Metrics: m}
+				finish(false)
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mu.Lock()
+	rs.Hits, rs.Misses = hits, done-hits
+	mu.Unlock()
+	rs.Wall = time.Since(start)
+	return rs, nil
+}
+
+// runJob builds and measures one simulation.
+func runJob(sc Scale, j Job) (core.Metrics, error) {
+	wl, err := workload.ByName(j.Workload)
+	if err != nil {
+		return core.Metrics{}, err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.TimesliceCycles = sc.Timeslice
+	j.Knobs.apply(cfg)
+	opts := core.Options{
+		Cfg:         cfg,
+		Kind:        j.Kind,
+		Workload:    wl,
+		Seed:        j.SimSeed(),
+		PABDisabled: j.Knobs.PABDisabled,
+	}
+	if j.Knobs.FaultInterval > 0 {
+		opts.FaultPlan = &fault.Plan{MeanInterval: j.Knobs.FaultInterval, Seed: j.SimSeed()}
+	}
+	return core.RunSystem(opts, sc.Warmup, sc.Measure)
+}
+
+// summaryMetrics lists the per-key aggregates Summarize emits for the
+// buckets-independent counters, in emission order.
+var summaryMetrics = []struct {
+	name string
+	get  func(*core.Metrics) float64
+}{
+	{"tp:total", func(m *core.Metrics) float64 { return m.TotalThroughput() }},
+	{"enter_avg", func(m *core.Metrics) float64 { return m.EnterAvg }},
+	{"leave_avg", func(m *core.Metrics) float64 { return m.LeaveAvg }},
+	{"enter_n", func(m *core.Metrics) float64 { return float64(m.EnterN) }},
+	{"checks", func(m *core.Metrics) float64 { return float64(m.Checks) }},
+	{"mismatches", func(m *core.Metrics) float64 { return float64(m.Mismatches) }},
+	{"pab_exceptions", func(m *core.Metrics) float64 { return float64(m.PABExceptions) }},
+	{"would_corrupt", func(m *core.Metrics) float64 { return float64(m.WouldCorrupt) }},
+	{"verify_failures", func(m *core.Metrics) float64 { return float64(m.VerifyFailures) }},
+	{"faults_injected", func(m *core.Metrics) float64 { return float64(m.FaultsInjected) }},
+	{"user_cyc_per_switch", func(m *core.Metrics) float64 { return m.UserCycPerSwitch }},
+	{"os_cyc_per_switch", func(m *core.Metrics) float64 { return m.OSCycPerSwitch }},
+}
+
+// Summarize aggregates a result set into stats rows: per aggregation
+// key, the per-bucket user IPC and throughput plus the fixed counter
+// set, each summarized over the key's seeds. Keys, buckets and metrics
+// are emitted in sorted/fixed order so the rows — and their JSON/CSV
+// renderings — are byte-identical across runs, parallelism levels and
+// cache temperature.
+func Summarize(rs *ResultSet) []stats.Row {
+	byKey := rs.ByKey()
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var rows []stats.Row
+	for _, k := range keys {
+		ms := byKey[k]
+		buckets := map[string]bool{}
+		for i := range ms {
+			for b := range ms[i].GuestVCPUs {
+				buckets[b] = true
+			}
+		}
+		names := make([]string, 0, len(buckets))
+		for b := range buckets {
+			names = append(names, b)
+		}
+		sort.Strings(names)
+		for _, b := range names {
+			ipc, tp := &stats.Sample{}, &stats.Sample{}
+			for i := range ms {
+				ipc.Add(ms[i].UserIPC(b))
+				tp.Add(ms[i].Throughput(b))
+			}
+			rows = append(rows, stats.RowOf(k, "ipc:"+b, ipc))
+			rows = append(rows, stats.RowOf(k, "tp:"+b, tp))
+		}
+		for _, sm := range summaryMetrics {
+			s := &stats.Sample{}
+			for i := range ms {
+				s.Add(sm.get(&ms[i]))
+			}
+			rows = append(rows, stats.RowOf(k, sm.name, s))
+		}
+	}
+	return rows
+}

@@ -1,0 +1,166 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// DefaultScale is the standard experiment scale: enough cycles for
+// steady-state caches and several gang timeslices. internal/exp and
+// cmd/mmmd both resolve their presets here, so a "default" campaign
+// means the same jobs — and hits the same cache entries — everywhere.
+func DefaultScale() Scale {
+	return Scale{Warmup: 400_000, Measure: 900_000, Timeslice: 250_000}
+}
+
+// QuickScale is the reduced smoke-test scale.
+func QuickScale() Scale {
+	return Scale{Warmup: 150_000, Measure: 300_000, Timeslice: 60_000}
+}
+
+// DefaultSeeds is the standard seed axis: two independent runs per
+// cell for confidence intervals.
+func DefaultSeeds() []uint64 { return []uint64{11, 23} }
+
+// QuickSeeds is the reduced seed axis for smoke runs.
+func QuickSeeds() []uint64 { return []uint64{11} }
+
+// builders maps campaign names to spec constructors. Every figure,
+// table and design study of the paper's evaluation is a named campaign
+// here, so cmd/mmmd can run any of them by name and internal/exp
+// expands the same specs for its in-process tables.
+var builders = map[string]func(workloads []string, seeds []uint64) Spec{
+	"figure5": func(wls []string, seeds []uint64) Spec {
+		return Spec{
+			Name:      "figure5",
+			Kinds:     []core.Kind{core.KindNoDMR2X, core.KindNoDMR, core.KindReunion},
+			Workloads: wls,
+			Seeds:     seeds,
+		}
+	},
+	"figure6": func(wls []string, seeds []uint64) Spec {
+		return Spec{
+			Name:      "figure6",
+			Kinds:     []core.Kind{core.KindDMRBase, core.KindMMMIPC, core.KindMMMTP},
+			Workloads: wls,
+			Seeds:     seeds,
+		}
+	},
+	"table1": func(wls []string, seeds []uint64) Spec {
+		return Spec{
+			Name:      "table1",
+			Kinds:     []core.Kind{core.KindMMMTP},
+			Workloads: wls,
+			Seeds:     seeds,
+		}
+	},
+	"table2": func(wls []string, seeds []uint64) Spec {
+		return Spec{
+			Name:      "table2",
+			Kinds:     []core.Kind{core.KindNoDMR},
+			Workloads: wls,
+			Seeds:     seeds,
+		}
+	},
+	"pab": func(wls []string, seeds []uint64) Spec {
+		return Spec{
+			Name:      "pab",
+			Kinds:     []core.Kind{core.KindMMMIPC},
+			Workloads: wls,
+			Seeds:     seeds,
+			Variants: []Variant{
+				{Name: "parallel"},
+				{Name: "serial", Knobs: Knobs{PABSerial: true}},
+			},
+		}
+	},
+	"singleos": func(wls []string, seeds []uint64) Spec {
+		return Spec{
+			Name:      "singleos",
+			Kinds:     []core.Kind{core.KindSingleOS},
+			Workloads: wls,
+			Seeds:     seeds,
+		}
+	},
+	"tso": func(wls []string, seeds []uint64) Spec {
+		return Spec{
+			Name:      "tso",
+			Kinds:     []core.Kind{core.KindNoDMR2X, core.KindReunion},
+			Workloads: wls,
+			Seeds:     seeds,
+			Variants: []Variant{
+				{Name: "sc"},
+				{Name: "tso", Knobs: Knobs{TSO: true}},
+			},
+		}
+	},
+	"flush": func(wls []string, seeds []uint64) Spec {
+		return Spec{
+			Name:      "flush",
+			Kinds:     []core.Kind{core.KindMMMTP},
+			Workloads: wls,
+			Seeds:     seeds,
+			Variants: []Variant{
+				{Name: "flush1", Knobs: Knobs{FlushPerCycle: 1}},
+				{Name: "flush2", Knobs: Knobs{FlushPerCycle: 2}},
+				{Name: "flush4", Knobs: Knobs{FlushPerCycle: 4}},
+				{Name: "flush8", Knobs: Knobs{FlushPerCycle: 8}},
+			},
+		}
+	},
+	"faults": func(wls []string, seeds []uint64) Spec {
+		// Per-kind knobs do not fit a cross-product; FaultJobs builds
+		// the explicit cells.
+		return Spec{Name: "faults", Jobs: FaultJobs(wls, seeds, 40_000)}
+	},
+}
+
+// FaultJobs builds the protection-validation campaign's explicit job
+// list: faults at the given mean interval injected into Reunion (all
+// DMR), MMM-IPC with the PAB enabled, and MMM-IPC with the PAB
+// disabled.
+func FaultJobs(workloads []string, seeds []uint64, meanInterval float64) []Job {
+	if len(workloads) == 0 {
+		workloads = []string{"apache"}
+	}
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds()
+	}
+	var jobs []Job
+	for _, wl := range workloads {
+		for _, seed := range seeds {
+			jobs = append(jobs,
+				Job{Workload: wl, Kind: core.KindReunion, Seed: seed, Variant: "dmr",
+					Knobs: Knobs{FaultInterval: meanInterval}},
+				Job{Workload: wl, Kind: core.KindMMMIPC, Seed: seed, Variant: "pab",
+					Knobs: Knobs{FaultInterval: meanInterval}},
+				Job{Workload: wl, Kind: core.KindMMMIPC, Seed: seed, Variant: "nopab",
+					Knobs: Knobs{FaultInterval: meanInterval, PABDisabled: true}},
+			)
+		}
+	}
+	return jobs
+}
+
+// Named resolves a registered campaign name into its spec. Empty
+// workloads or seeds select the defaults (all six workloads, seeds
+// {11, 23}).
+func Named(name string, workloads []string, seeds []uint64) (Spec, error) {
+	b, ok := builders[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("campaign: unknown campaign %q (have %v)", name, Names())
+	}
+	return b(workloads, seeds), nil
+}
+
+// Names lists the registered campaign names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

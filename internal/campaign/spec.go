@@ -1,0 +1,186 @@
+// Package campaign turns declarative sweep specifications into
+// deterministic job sets and executes them on a bounded,
+// context-cancellable worker pool with a content-addressed result
+// cache. It is the execution engine behind internal/exp (every figure,
+// table and design study of the paper is a named campaign) and behind
+// the cmd/mmmd sweep service: overlapping or re-submitted campaigns
+// resume from cached results instead of re-simulating.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// SpecVersion is folded into every job fingerprint. Bump it whenever
+// the simulator's semantics change in a way that invalidates previously
+// cached metrics.
+const SpecVersion = 1
+
+// Scale sets the simulation windows shared by every job of a campaign.
+type Scale struct {
+	Warmup    sim.Cycle `json:"warmup"`
+	Measure   sim.Cycle `json:"measure"`
+	Timeslice sim.Cycle `json:"timeslice"`
+}
+
+// Knobs is the declarative form of the sim.Config mutations the
+// evaluation sweeps over. Unlike a closure, a Knobs value is part of a
+// job's identity: it canonicalizes into the cache fingerprint, so two
+// jobs differing only in a knob never collide.
+type Knobs struct {
+	// PABSerial selects the serial 2-cycle PAB lookup (Section 5.2).
+	PABSerial bool `json:"pab_serial,omitempty"`
+	// PABDisabled turns PAB enforcement off (fault-injection ablation).
+	PABDisabled bool `json:"pab_disabled,omitempty"`
+	// TSO selects total-store-order instead of the paper's SC.
+	TSO bool `json:"tso,omitempty"`
+	// FlushPerCycle overrides the Leave-DMR flush rate when positive.
+	FlushPerCycle int `json:"flush_per_cycle,omitempty"`
+	// FaultInterval, when positive, injects faults with this mean
+	// spacing in cycles.
+	FaultInterval float64 `json:"fault_interval,omitempty"`
+}
+
+// apply mutates a sim.Config according to the knobs. PABDisabled and
+// FaultInterval act at the core.Options level, not here.
+func (k Knobs) apply(cfg *sim.Config) {
+	if k.PABSerial {
+		cfg.PABSerial = true
+	}
+	if k.TSO {
+		cfg.TSO = true
+	}
+	if k.FlushPerCycle > 0 {
+		cfg.FlushPerCycle = k.FlushPerCycle
+	}
+}
+
+// Variant names one point of a non-axis sweep dimension (e.g. the
+// serial-vs-parallel PAB lookup). The empty Variant{} is the default
+// configuration.
+type Variant struct {
+	Name  string `json:"name"`
+	Knobs Knobs  `json:"knobs"`
+}
+
+// Job is one fully specified simulation: a cell of the sweep
+// cross-product. Jobs are pure data so they can be expanded, hashed,
+// cached and distributed.
+type Job struct {
+	Workload string    `json:"workload"`
+	Kind     core.Kind `json:"kind"`
+	Seed     uint64    `json:"seed"`
+	Variant  string    `json:"variant,omitempty"`
+	Knobs    Knobs     `json:"knobs"`
+}
+
+// Key is the aggregation key of the job's cell: runs differing only in
+// seed share a key and fold into one stats.Sample.
+func (j Job) Key() string {
+	if j.Variant == "" {
+		return fmt.Sprintf("%s/%s", j.Workload, j.Kind)
+	}
+	return fmt.Sprintf("%s/%s/%s", j.Workload, j.Kind, j.Variant)
+}
+
+// SimSeed derives the seed handed to the simulator. Mixing the cell
+// labels in decorrelates the random streams of different cells that
+// declare the same seed, and is stable across processes, so cached
+// results remain valid.
+func (j Job) SimSeed() uint64 {
+	return sim.DeriveSeed(j.Seed, j.Workload, j.Kind.String(), j.Variant)
+}
+
+// Fingerprint is the content address of the job's result: a SHA-256
+// over the canonical rendering of (SpecVersion, scale, every job
+// parameter). Equal fingerprints mean byte-identical simulations.
+func (j Job) Fingerprint(sc Scale) string {
+	h := sha256.New()
+	fmt.Fprintf(h,
+		"v%d|warm=%d|meas=%d|slice=%d|wl=%s|kind=%s|seed=%d|var=%s|pabser=%t|pabdis=%t|tso=%t|flush=%d|fault=%g",
+		SpecVersion, sc.Warmup, sc.Measure, sc.Timeslice,
+		j.Workload, j.Kind, j.Seed, j.Variant,
+		j.Knobs.PABSerial, j.Knobs.PABDisabled, j.Knobs.TSO,
+		j.Knobs.FlushPerCycle, j.Knobs.FaultInterval)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Spec declares a sweep: the cross-product of kinds x workloads x
+// seeds x variants, or an explicit job list for campaigns that do not
+// fit a cross-product (e.g. per-kind knobs).
+type Spec struct {
+	Name      string      `json:"name"`
+	Kinds     []core.Kind `json:"kinds,omitempty"`
+	Workloads []string    `json:"workloads,omitempty"`
+	Seeds     []uint64    `json:"seeds,omitempty"`
+	Variants  []Variant   `json:"variants,omitempty"`
+	// Jobs, when non-empty, bypasses the cross-product and is used
+	// verbatim (still validated and deduplicated by Expand).
+	Jobs []Job `json:"jobs,omitempty"`
+}
+
+// Expand produces the deterministic job set of the spec: the same spec
+// always expands to the same jobs in the same order, with duplicate
+// cells removed. Axes left empty default to all workloads, the
+// two-seed default, and the single default variant.
+func (s Spec) Expand() ([]Job, error) {
+	if len(s.Jobs) > 0 {
+		return dedupe(s.Jobs)
+	}
+	if len(s.Kinds) == 0 {
+		return nil, fmt.Errorf("campaign: spec %q has no kinds and no explicit jobs", s.Name)
+	}
+	wls := s.Workloads
+	if len(wls) == 0 {
+		wls = workload.Names()
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds()
+	}
+	variants := s.Variants
+	if len(variants) == 0 {
+		variants = []Variant{{}}
+	}
+	var jobs []Job
+	for _, wl := range wls {
+		for _, k := range s.Kinds {
+			for _, v := range variants {
+				for _, seed := range seeds {
+					jobs = append(jobs, Job{
+						Workload: wl,
+						Kind:     k,
+						Seed:     seed,
+						Variant:  v.Name,
+						Knobs:    v.Knobs,
+					})
+				}
+			}
+		}
+	}
+	return dedupe(jobs)
+}
+
+// dedupe validates workload names and drops exact duplicate jobs while
+// preserving order.
+func dedupe(jobs []Job) ([]Job, error) {
+	seen := make(map[Job]struct{}, len(jobs))
+	out := jobs[:0:0]
+	for _, j := range jobs {
+		if _, err := workload.ByName(j.Workload); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		if _, ok := seen[j]; ok {
+			continue
+		}
+		seen[j] = struct{}{}
+		out = append(out, j)
+	}
+	return out, nil
+}

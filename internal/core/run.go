@@ -60,12 +60,14 @@ func (m *Metrics) Throughput(bucket string) float64 {
 }
 
 // TotalThroughput sums committed user instructions over all buckets.
+// The sum is accumulated in uint64 so the result does not depend on
+// map iteration order (float addition is not associative).
 func (m *Metrics) TotalThroughput() float64 {
-	var t float64
+	var t uint64
 	for _, v := range m.GuestUser {
-		t += float64(v)
+		t += v
 	}
-	return t
+	return float64(t)
 }
 
 // bucketName merges the MMM-TP co-scheduled halves.

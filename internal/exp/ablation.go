@@ -4,9 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // TSORow holds the memory-consistency ablation for one workload.
@@ -28,24 +26,12 @@ type TSORow struct {
 // buffer hides most of the per-store fingerprint serialization, so
 // Reunion's normalized IPC should recover substantially.
 func TSOAblation(c Config) ([]TSORow, error) {
-	tso := func(cfg *sim.Config) { cfg.TSO = true }
-	var jobs []job
-	for _, wl := range workload.Names() {
-		for _, seed := range c.Seeds {
-			jobs = append(jobs,
-				job{wl: wl, kind: core.KindNoDMR2X, seed: seed, key: key(wl, core.KindNoDMR2X, "sc")},
-				job{wl: wl, kind: core.KindReunion, seed: seed, key: key(wl, core.KindReunion, "sc")},
-				job{wl: wl, kind: core.KindNoDMR2X, seed: seed, mut: tso, key: key(wl, core.KindNoDMR2X, "tso")},
-				job{wl: wl, kind: core.KindReunion, seed: seed, mut: tso, key: key(wl, core.KindReunion, "tso")},
-			)
-		}
-	}
-	res, err := c.runAll(jobs)
+	res, err := c.named("tso")
 	if err != nil {
 		return nil, err
 	}
 	var rows []TSORow
-	for _, wl := range workload.Names() {
+	for _, wl := range c.workloads() {
 		baseSC := sampleOf(res[key(wl, core.KindNoDMR2X, "sc")],
 			func(m *core.Metrics) float64 { return m.UserIPC("app") }).Mean()
 		baseTSO := sampleOf(res[key(wl, core.KindNoDMR2X, "tso")],
@@ -85,26 +71,16 @@ type FlushRow struct {
 // the flush rate should roughly halve the Leave cost until the state
 // moves dominate.
 func FlushAblation(c Config, wl string) ([]FlushRow, error) {
+	c.Workloads = []string{wl}
+	res, err := c.named("flush")
+	if err != nil {
+		return nil, err
+	}
 	var rows []FlushRow
 	for _, rate := range []int{1, 2, 4, 8} {
-		r := rate
-		var jobs []job
-		for _, seed := range c.Seeds {
-			jobs = append(jobs, job{
-				wl:   wl,
-				kind: core.KindMMMTP,
-				seed: seed,
-				mut:  func(cfg *sim.Config) { cfg.FlushPerCycle = r },
-				key:  fmt.Sprintf("%s/flush%d", wl, r),
-			})
-		}
-		res, err := c.runAll(jobs)
-		if err != nil {
-			return nil, err
-		}
 		rows = append(rows, FlushRow{
 			LinesPerCycle: rate,
-			Leave: sampleOf(res[fmt.Sprintf("%s/flush%d", wl, rate)],
+			Leave: sampleOf(res[key(wl, core.KindMMMTP, fmt.Sprintf("flush%d", rate))],
 				func(m *core.Metrics) float64 { return m.LeaveAvg }),
 		})
 	}

@@ -1,16 +1,17 @@
 // Package exp defines the paper's experiments: one function per table
-// and figure of the evaluation (Section 5), each running the required
-// system configurations over all six workloads and multiple seeds, and
-// rendering the same rows/series the paper reports. cmd/mmmbench and
-// the repository-level benchmarks are thin wrappers around this
-// package.
+// and figure of the evaluation (Section 5), each a named campaign run
+// through internal/campaign's engine and rendered into the same
+// rows/series the paper reports. cmd/mmmbench and the repository-level
+// benchmarks are thin wrappers around this package; cmd/mmmd serves
+// the same campaigns over HTTP.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -27,106 +28,86 @@ type Config struct {
 	Timeslice sim.Cycle // consolidated-server gang timeslice
 	Seeds     []uint64
 	Parallel  int // concurrent simulations (independent chips)
+
+	// Workloads restricts the sweep to a subset of workload names;
+	// empty means all six.
+	Workloads []string
+
+	// Cache, when non-nil, serves repeated jobs from the campaign
+	// result cache instead of re-simulating.
+	Cache campaign.Cache
+}
+
+// fromScale builds a Config from a campaign preset, so mmmbench and
+// mmmd resolve "default"/"quick" to the same jobs and cache entries.
+func fromScale(sc campaign.Scale, seeds []uint64) Config {
+	return Config{
+		Warmup:    sc.Warmup,
+		Measure:   sc.Measure,
+		Timeslice: sc.Timeslice,
+		Seeds:     seeds,
+		Parallel:  runtime.NumCPU(),
+	}
 }
 
 // Default returns the standard experiment scale: enough cycles for
 // steady-state caches and several gang timeslices, two seeds for
 // confidence intervals.
 func Default() Config {
-	return Config{
-		Warmup:    400_000,
-		Measure:   900_000,
-		Timeslice: 250_000,
-		Seeds:     []uint64{11, 23},
-		Parallel:  runtime.NumCPU(),
-	}
+	return fromScale(campaign.DefaultScale(), campaign.DefaultSeeds())
 }
 
 // Quick returns a reduced scale for smoke testing (-short).
 func Quick() Config {
-	return Config{
-		Warmup:    150_000,
-		Measure:   300_000,
-		Timeslice: 60_000,
-		Seeds:     []uint64{11},
-		Parallel:  runtime.NumCPU(),
-	}
+	return fromScale(campaign.QuickScale(), campaign.QuickSeeds())
 }
 
-// job is one simulation to run.
-type job struct {
-	wl   string
-	kind core.Kind
-	seed uint64
-	mut  func(*sim.Config) // optional config mutation (e.g. serial PAB)
-	key  string
+// Scale returns the campaign scale of the config.
+func (c Config) Scale() campaign.Scale {
+	return campaign.Scale{Warmup: c.Warmup, Measure: c.Measure, Timeslice: c.Timeslice}
 }
 
-// runAll executes jobs concurrently and returns metrics keyed by
-// job.key.
-func (c Config) runAll(jobs []job) (map[string][]core.Metrics, error) {
-	type result struct {
-		key string
-		m   core.Metrics
-		err error
+// workloads returns the workload axis: the configured subset, or all.
+func (c Config) workloads() []string {
+	if len(c.Workloads) > 0 {
+		return c.Workloads
 	}
-	par := c.Parallel
-	if par < 1 {
-		par = 1
-	}
-	work := make(chan job)
-	results := make(chan result)
-	var wg sync.WaitGroup
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range work {
-				wl, err := workload.ByName(j.wl)
-				if err != nil {
-					results <- result{key: j.key, err: err}
-					continue
-				}
-				cfg := sim.DefaultConfig()
-				cfg.TimesliceCycles = c.Timeslice
-				if j.mut != nil {
-					j.mut(cfg)
-				}
-				m, err := core.RunSystem(core.Options{
-					Cfg:      cfg,
-					Kind:     j.kind,
-					Workload: wl,
-					Seed:     j.seed,
-				}, c.Warmup, c.Measure)
-				results <- result{key: j.key, m: m, err: err}
-			}
-		}()
-	}
-	go func() {
-		for _, j := range jobs {
-			work <- j
-		}
-		close(work)
-		wg.Wait()
-		close(results)
-	}()
-	out := make(map[string][]core.Metrics)
-	var firstErr error
-	for r := range results {
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
-		}
-		out[r.key] = append(out[r.key], r.m)
-	}
-	return out, firstErr
+	return workload.Names()
 }
 
-// key builds a deterministic result key.
+// runAll executes jobs on the campaign engine and returns metrics
+// grouped by aggregation key.
+func (c Config) runAll(jobs []campaign.Job) (map[string][]core.Metrics, error) {
+	rs, err := c.runSet(jobs)
+	if err != nil {
+		return nil, err
+	}
+	return rs.ByKey(), nil
+}
+
+// runSet executes jobs on the campaign engine.
+func (c Config) runSet(jobs []campaign.Job) (*campaign.ResultSet, error) {
+	eng := campaign.New(campaign.Options{Parallel: c.Parallel, Cache: c.Cache})
+	return eng.Run(context.Background(), c.Scale(), jobs)
+}
+
+// named expands the registered campaign spec under this config's axes
+// and runs it.
+func (c Config) named(name string) (map[string][]core.Metrics, error) {
+	spec, err := campaign.Named(name, c.workloads(), c.Seeds)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return c.runAll(jobs)
+}
+
+// key builds a deterministic result key (campaign.Job.Key format).
 func key(wl string, kind core.Kind, variant string) string {
-	if variant == "" {
-		return fmt.Sprintf("%s/%s", wl, kind)
-	}
-	return fmt.Sprintf("%s/%s/%s", wl, kind, variant)
+	return campaign.Job{Workload: wl, Kind: kind, Variant: variant}.Key()
 }
 
 // sampleOf folds a metric extractor over a key's runs.

@@ -1,10 +1,17 @@
 package exp
 
 import (
+	"sync"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 )
+
+// testCache is shared by every test config: experiments that revisit a
+// cell another test already simulated at the same scale hit the warm
+// cache instead of re-simulating.
+var testCache = campaign.NewMemCache()
 
 // tiny returns a minimal-scale experiment config for tests.
 func tiny() Config {
@@ -12,11 +19,18 @@ func tiny() Config {
 	c.Warmup = 60_000
 	c.Measure = 120_000
 	c.Timeslice = 40_000
+	c.Cache = testCache
 	return c
 }
 
+// fig5Rows runs the tiny Figure 5 sweep exactly once; every test that
+// needs Figure 5 shapes shares the result instead of re-simulating.
+var fig5Rows = sync.OnceValues(func() ([]Fig5Row, error) {
+	return Figure5(tiny())
+})
+
 func TestFigure5Shape(t *testing.T) {
-	rows, err := Figure5(tiny())
+	rows, err := fig5Rows()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,11 +55,42 @@ func TestFigure5Shape(t *testing.T) {
 	}
 }
 
+func TestFigure5CacheShared(t *testing.T) {
+	// The shared sweep warmed testCache, so re-deriving Figure 5 at the
+	// same scale must be pure cache hits and reproduce the same rows.
+	if _, err := fig5Rows(); err != nil {
+		t.Fatal(err)
+	}
+	c := tiny()
+	spec, err := campaign.Named("figure5", c.workloads(), c.Seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.runSet(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Misses != 0 || rs.Hits != len(jobs) {
+		t.Fatalf("warm rerun: hits=%d misses=%d want %d/0", rs.Hits, rs.Misses, len(jobs))
+	}
+}
+
 func TestTable1Shape(t *testing.T) {
 	c := tiny()
+	// The per-workload assertions are structural; three workloads with
+	// distinct OS profiles cover them without simulating all six under
+	// MMM-TP (three guests per run, the most expensive system kind).
+	c.Workloads = []string{"apache", "oltp", "zeus"}
 	rows, err := Table1(c)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(rows) != len(c.Workloads) {
+		t.Fatalf("rows = %d", len(rows))
 	}
 	for _, r := range rows {
 		if r.Enter.Mean() <= 0 || r.Leave.Mean() <= 0 {
@@ -69,9 +114,11 @@ func TestTable2Shape(t *testing.T) {
 	// Table 2 measures user/OS phase round trips; the long-burst
 	// workloads (pgbench: 554k user cycles between traps) need windows
 	// the full benchmark provides. Here we use a mid-size window and
-	// validate the short-phase workloads' cadence and shape.
+	// validate the short-phase workloads' cadence and shape — so only
+	// those two workloads are simulated.
 	c := tiny()
 	c.Measure = 600_000
+	c.Workloads = []string{"apache", "zeus"}
 	rows, err := Table2(c)
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +158,7 @@ func TestFaultStudyShape(t *testing.T) {
 
 func TestRunAllPropagatesErrors(t *testing.T) {
 	c := tiny()
-	_, err := c.runAll([]job{{wl: "nope", kind: core.KindNoDMR, seed: 1, key: "x"}})
+	_, err := c.runAll([]campaign.Job{{Workload: "nope", Kind: core.KindNoDMR, Seed: 1}})
 	if err == nil {
 		t.Fatal("bad workload name not reported")
 	}

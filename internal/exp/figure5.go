@@ -3,7 +3,6 @@ package exp
 import (
 	"repro/internal/core"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // Fig5Row is one workload's Figure 5 data: per-thread user IPC and
@@ -26,21 +25,12 @@ type Fig5Row struct {
 // No DMR 2X; Reunion observes 22–48% lower; No DMR throughput is about
 // half of No DMR 2X and Reunion's is one quarter to one third.
 func Figure5(c Config) ([]Fig5Row, error) {
-	kinds := []core.Kind{core.KindNoDMR2X, core.KindNoDMR, core.KindReunion}
-	var jobs []job
-	for _, wl := range workload.Names() {
-		for _, k := range kinds {
-			for _, seed := range c.Seeds {
-				jobs = append(jobs, job{wl: wl, kind: k, seed: seed, key: key(wl, k, "")})
-			}
-		}
-	}
-	res, err := c.runAll(jobs)
+	res, err := c.named("figure5")
 	if err != nil {
 		return nil, err
 	}
 	var rows []Fig5Row
-	for _, wl := range workload.Names() {
+	for _, wl := range c.workloads() {
 		base := res[key(wl, core.KindNoDMR2X, "")]
 		nod := res[key(wl, core.KindNoDMR, "")]
 		reu := res[key(wl, core.KindReunion, "")]

@@ -3,7 +3,6 @@ package exp
 import (
 	"repro/internal/core"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // Fig6Row is one workload's Figure 6 data for the mixed-mode
@@ -34,23 +33,14 @@ type Fig6Row struct {
 // (pgoltp −6.5%); MMM-TP's performance VM gains 2.4–3.6x throughput
 // and the whole machine 1.7–2.3x.
 func Figure6(c Config) ([]Fig6Row, error) {
-	kinds := []core.Kind{core.KindDMRBase, core.KindMMMIPC, core.KindMMMTP}
-	var jobs []job
-	for _, wl := range workload.Names() {
-		for _, k := range kinds {
-			for _, seed := range c.Seeds {
-				jobs = append(jobs, job{wl: wl, kind: k, seed: seed, key: key(wl, k, "")})
-			}
-		}
-	}
-	res, err := c.runAll(jobs)
+	res, err := c.named("figure6")
 	if err != nil {
 		return nil, err
 	}
 	perfIPC := func(m *core.Metrics) float64 { return m.UserIPC("perf") }
 	relIPC := func(m *core.Metrics) float64 { return m.UserIPC("reliable") }
 	var rows []Fig6Row
-	for _, wl := range workload.Names() {
+	for _, wl := range c.workloads() {
 		base := res[key(wl, core.KindDMRBase, "")]
 		ipc := res[key(wl, core.KindMMMIPC, "")]
 		tp := res[key(wl, core.KindMMMTP, "")]

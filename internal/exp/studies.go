@@ -3,11 +3,9 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // PABRow holds the serial-vs-parallel PAB lookup study for one
@@ -26,22 +24,12 @@ type PABRow struct {
 // PAB lookup before the L2 access reduces the performance-mode
 // application's IPC by 3–10%; the reliable application is unaffected.
 func PABStudy(c Config) ([]PABRow, error) {
-	var jobs []job
-	serial := func(cfg *sim.Config) { cfg.PABSerial = true }
-	for _, wl := range workload.Names() {
-		for _, seed := range c.Seeds {
-			jobs = append(jobs,
-				job{wl: wl, kind: core.KindMMMIPC, seed: seed, key: key(wl, core.KindMMMIPC, "parallel")},
-				job{wl: wl, kind: core.KindMMMIPC, seed: seed, mut: serial, key: key(wl, core.KindMMMIPC, "serial")},
-			)
-		}
-	}
-	res, err := c.runAll(jobs)
+	res, err := c.named("pab")
 	if err != nil {
 		return nil, err
 	}
 	var rows []PABRow
-	for _, wl := range workload.Names() {
+	for _, wl := range c.workloads() {
 		par := res[key(wl, core.KindMMMIPC, "parallel")]
 		ser := res[key(wl, core.KindMMMIPC, "serial")]
 		basePerf := sampleOf(par, func(m *core.Metrics) float64 { return m.UserIPC("perf") }).Mean()
@@ -86,18 +74,12 @@ type SingleOSRow struct {
 // transitions at every OS boundary, the overhead is ≈8% for Apache and
 // <5% for the other workloads.
 func SingleOSOverhead(c Config) ([]SingleOSRow, error) {
-	var jobs []job
-	for _, wl := range workload.Names() {
-		for _, seed := range c.Seeds {
-			jobs = append(jobs, job{wl: wl, kind: core.KindSingleOS, seed: seed, key: key(wl, core.KindSingleOS, "")})
-		}
-	}
-	res, err := c.runAll(jobs)
+	res, err := c.named("singleos")
 	if err != nil {
 		return nil, err
 	}
 	var rows []SingleOSRow
-	for _, wl := range workload.Names() {
+	for _, wl := range c.workloads() {
 		ms := res[key(wl, core.KindSingleOS, "")]
 		overhead := func(m *core.Metrics) float64 {
 			trans := float64(m.EnterN)*m.EnterAvg + float64(m.LeaveN)*m.LeaveAvg
@@ -152,6 +134,18 @@ type FaultRow struct {
 	VerifyCaught *stats.Sample // privileged-state divergence caught on Enter-DMR
 }
 
+// faultVariants maps the fault campaign's variant labels to the names
+// the paper-facing table reports, in row order.
+var faultVariants = []struct {
+	kind    core.Kind
+	variant string
+	name    string
+}{
+	{core.KindReunion, "dmr", "Reunion (DMR)"},
+	{core.KindMMMIPC, "pab", "MMM-IPC +PAB"},
+	{core.KindMMMIPC, "nopab", "MMM-IPC -PAB"},
+}
+
 // FaultStudy runs the protection-validation campaign the paper's
 // design arguments imply: faults injected into a mixed-mode system are
 // either detected by fingerprints (DMR mode), stopped by the PAB
@@ -159,55 +153,21 @@ type FaultRow struct {
 // the privileged-register verification on Enter-DMR. Disabling the
 // PAB converts prevented violations into silent corruption.
 func FaultStudy(c Config, wl string, meanInterval float64) ([]FaultRow, error) {
-	plan := &fault.Plan{MeanInterval: meanInterval}
-	kinds := []struct {
-		name string
-		kind core.Kind
-		mut  func(*sim.Config)
-		dis  bool
-	}{
-		{"Reunion (DMR)", core.KindReunion, nil, false},
-		{"MMM-IPC +PAB", core.KindMMMIPC, nil, false},
-		{"MMM-IPC -PAB", core.KindMMMIPC, nil, true},
+	res, err := c.runAll(campaign.FaultJobs([]string{wl}, c.Seeds, meanInterval))
+	if err != nil {
+		return nil, err
 	}
 	var rows []FaultRow
-	for _, k := range kinds {
-		row := FaultRow{
-			System:       k.name,
-			Injected:     &stats.Sample{},
-			FPDetected:   &stats.Sample{},
-			PABPrevented: &stats.Sample{},
-			WouldCorrupt: &stats.Sample{},
-			VerifyCaught: &stats.Sample{},
-		}
-		for _, seed := range c.Seeds {
-			w, err := workload.ByName(wl)
-			if err != nil {
-				return nil, err
-			}
-			cfg := sim.DefaultConfig()
-			cfg.TimesliceCycles = c.Timeslice
-			if k.mut != nil {
-				k.mut(cfg)
-			}
-			m, err := core.RunSystem(core.Options{
-				Cfg:         cfg,
-				Kind:        k.kind,
-				Workload:    w,
-				Seed:        seed,
-				FaultPlan:   plan,
-				PABDisabled: k.dis,
-			}, c.Warmup, c.Measure)
-			if err != nil {
-				return nil, err
-			}
-			row.Injected.Add(float64(m.FaultsInjected))
-			row.FPDetected.Add(float64(m.Mismatches))
-			row.PABPrevented.Add(float64(m.PABExceptions))
-			row.WouldCorrupt.Add(float64(m.WouldCorrupt))
-			row.VerifyCaught.Add(float64(m.VerifyFailures))
-		}
-		rows = append(rows, row)
+	for _, v := range faultVariants {
+		ms := res[key(wl, v.kind, v.variant)]
+		rows = append(rows, FaultRow{
+			System:       v.name,
+			Injected:     sampleOf(ms, func(m *core.Metrics) float64 { return float64(m.FaultsInjected) }),
+			FPDetected:   sampleOf(ms, func(m *core.Metrics) float64 { return float64(m.Mismatches) }),
+			PABPrevented: sampleOf(ms, func(m *core.Metrics) float64 { return float64(m.PABExceptions) }),
+			WouldCorrupt: sampleOf(ms, func(m *core.Metrics) float64 { return float64(m.WouldCorrupt) }),
+			VerifyCaught: sampleOf(ms, func(m *core.Metrics) float64 { return float64(m.VerifyFailures) }),
+		})
 	}
 	return rows, nil
 }

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // Table1Row holds one workload's mode-switching overheads (cycles),
@@ -21,18 +20,12 @@ type Table1Row struct {
 // cycles; Leave ≈ 9.9–10.4k cycles (≈8k of which is the line-by-line
 // L2 flush).
 func Table1(c Config) ([]Table1Row, error) {
-	var jobs []job
-	for _, wl := range workload.Names() {
-		for _, seed := range c.Seeds {
-			jobs = append(jobs, job{wl: wl, kind: core.KindMMMTP, seed: seed, key: key(wl, core.KindMMMTP, "")})
-		}
-	}
-	res, err := c.runAll(jobs)
+	res, err := c.named("table1")
 	if err != nil {
 		return nil, err
 	}
 	var rows []Table1Row
-	for _, wl := range workload.Names() {
+	for _, wl := range c.workloads() {
 		ms := res[key(wl, core.KindMMMTP, "")]
 		rows = append(rows, Table1Row{
 			Workload: wl,
@@ -80,18 +73,12 @@ var paperTable2 = map[string][2]float64{
 // the baseline (non-DMR) system spends in user mode before entering
 // the OS, and in the OS before returning, per workload.
 func Table2(c Config) ([]Table2Row, error) {
-	var jobs []job
-	for _, wl := range workload.Names() {
-		for _, seed := range c.Seeds {
-			jobs = append(jobs, job{wl: wl, kind: core.KindNoDMR, seed: seed, key: key(wl, core.KindNoDMR, "")})
-		}
-	}
-	res, err := c.runAll(jobs)
+	res, err := c.named("table2")
 	if err != nil {
 		return nil, err
 	}
 	var rows []Table2Row
-	for _, wl := range workload.Names() {
+	for _, wl := range c.workloads() {
 		ms := res[key(wl, core.KindNoDMR, "")]
 		p := paperTable2[wl]
 		rows = append(rows, Table2Row{

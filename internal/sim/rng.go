@@ -82,6 +82,33 @@ func (r *Rand) Around(mean float64) int {
 	return int(v)
 }
 
+// DeriveSeed deterministically derives an independent stream seed from
+// a base seed and a sequence of labels. Campaign jobs use it so that
+// every (workload, kind, variant) cell of a sweep observes its own
+// decorrelated random stream even when the declared seed is shared:
+// the labels are folded in FNV-1a style and the result is pushed
+// through the splitmix64 finalizer so nearby inputs land far apart.
+func DeriveSeed(base uint64, labels ...string) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (base >> (8 * i) & 0xff)) * prime
+	}
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h = (h ^ uint64(l[i])) * prime
+		}
+		h = (h ^ 0x1f) * prime // label separator
+	}
+	// splitmix64 finalizer
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
 // Geometric returns a sample from a geometric distribution with the
 // given mean (at least 1). It is used for phase lengths and dependency
 // distances, which the paper's workloads exhibit as heavy-tailed

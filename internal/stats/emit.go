@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Row is one aggregated measurement of a sweep: a (result key, metric)
+// cell summarized over its repeated runs. Rows are the machine-readable
+// counterpart of Table: campaign aggregation emits them and the JSON /
+// CSV writers below serialize them deterministically, so two runs that
+// produced the same samples emit byte-identical output.
+type Row struct {
+	Key    string  `json:"key"`
+	Metric string  `json:"metric"`
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	CI95   float64 `json:"ci95"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// RowOf summarizes a sample into a Row.
+func RowOf(key, metric string, s *Sample) Row {
+	return Row{
+		Key:    key,
+		Metric: metric,
+		N:      s.N(),
+		Mean:   s.Mean(),
+		CI95:   s.CI95(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+	}
+}
+
+// WriteRowsJSON writes rows as an indented JSON array. Field order is
+// fixed by the Row struct and float64 values round-trip exactly, so the
+// byte stream is a deterministic function of the rows.
+func WriteRowsJSON(w io.Writer, rows []Row) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if rows == nil {
+		rows = []Row{}
+	}
+	return enc.Encode(rows)
+}
+
+// WriteRowsCSV writes rows as CSV with a header line.
+func WriteRowsCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"key", "metric", "n", "mean", "ci95", "min", "max"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range rows {
+		rec := []string{r.Key, r.Metric, strconv.Itoa(r.N), f(r.Mean), f(r.CI95), f(r.Min), f(r.Max)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
