@@ -9,7 +9,7 @@
 //	mmmbench -json out.json   # machine-readable per-experiment results
 //
 // Experiments: fig5a, fig5b, fig6a, fig6b, table1, table2, pab,
-// singleos, faults.
+// singleos, faults, relia.
 package main
 
 import (
@@ -35,7 +35,7 @@ type expResult struct {
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: all,fig5a,fig5b,fig6a,fig6b,table1,table2,pab,singleos,faults")
+		which    = flag.String("exp", "all", "experiment: all,fig5a,fig5b,fig6a,fig6b,table1,table2,pab,singleos,faults,relia")
 		quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 		warmup   = flag.Uint64("warmup", 0, "override warmup cycles")
 		measure  = flag.Uint64("measure", 0, "override measurement cycles")
@@ -184,6 +184,14 @@ func main() {
 			return 0, err
 		}
 		fmt.Println(exp.FaultTable(rows))
+		return len(rows), nil
+	})
+	run("relia", func() (int, error) {
+		rows, err := exp.ReliabilityStudy(cfg)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Println(exp.ReliabilityTable(rows))
 		return len(rows), nil
 	})
 

@@ -82,10 +82,12 @@ func (r *run) snapshot() runStatus {
 // simulations.
 type server struct {
 	cache    campaign.Cache
+	counting *campaign.CountingCache // same cache, for /status counters; nil when caching is off
 	parallel int
 	sem      chan struct{}
 	baseCtx  context.Context
 	wg       sync.WaitGroup
+	started  time.Time
 
 	mu   sync.Mutex
 	seq  int
@@ -98,13 +100,20 @@ func newServer(ctx context.Context, cache campaign.Cache, parallel, maxCampaigns
 	if maxCampaigns < 1 {
 		maxCampaigns = 1
 	}
-	return &server{
-		cache:    cache,
+	s := &server{
 		parallel: parallel,
 		sem:      make(chan struct{}, maxCampaigns),
 		baseCtx:  ctx,
+		started:  time.Now(),
 		runs:     make(map[string]*run),
 	}
+	if cache != nil {
+		// Wrap the shared cache so /status can report hit/miss/store
+		// counters across every campaign served by this process.
+		s.counting = campaign.NewCountingCache(cache)
+		s.cache = s.counting
+	}
+	return s
 }
 
 // handler routes the service's endpoints.
@@ -114,8 +123,15 @@ func (s *server) handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /catalog", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"campaigns": campaign.Names()})
+		// Names plus full axes (kinds, workloads, variants, seeds, job
+		// counts), so operators can discover what a registered sweep
+		// runs without reading source.
+		writeJSON(w, http.StatusOK, map[string]any{
+			"names":     campaign.Names(),
+			"campaigns": campaign.Catalog(),
+		})
 	})
+	mux.HandleFunc("GET /status", s.handleServiceStatus)
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
@@ -239,6 +255,33 @@ func (s *server) lookup(w http.ResponseWriter, req *http.Request) *run {
 		httpError(w, http.StatusNotFound, "no campaign %q", req.PathValue("id"))
 	}
 	return r
+}
+
+// handleServiceStatus reports service-level health: uptime, runs by
+// state, and the shared result cache's hit/miss/store counters.
+func (s *server) handleServiceStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	byStatus := map[string]int{}
+	total := len(s.runs)
+	for _, r := range s.runs {
+		r.mu.Lock()
+		byStatus[r.status]++
+		r.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	out := map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+		"campaigns": map[string]any{"total": total, "by_status": byStatus},
+	}
+	if s.counting != nil {
+		hits, misses, puts := s.counting.Stats()
+		out["cache"] = map[string]uint64{"hits": hits, "misses": misses, "stores": puts}
+	} else {
+		out["cache"] = nil
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {

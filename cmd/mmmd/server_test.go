@@ -191,3 +191,99 @@ func TestResultsBeforeDoneConflicts(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 }
+
+func TestServiceStatusReportsCacheCounters(t *testing.T) {
+	ts := testService(t)
+	// Cold run fills the cache; warm rerun hits it.
+	if st := submitAndWait(t, ts, micro); st.Status != "done" {
+		t.Fatalf("first run: %+v", st)
+	}
+	if st := submitAndWait(t, ts, micro); st.Status != "done" {
+		t.Fatalf("second run: %+v", st)
+	}
+	code, data := do(t, http.MethodGet, ts.URL+"/status", "")
+	if code != http.StatusOK {
+		t.Fatalf("status: %d %s", code, data)
+	}
+	var st struct {
+		Status    string `json:"status"`
+		UptimeMS  int64  `json:"uptime_ms"`
+		Campaigns struct {
+			Total    int            `json:"total"`
+			ByStatus map[string]int `json:"by_status"`
+		} `json:"campaigns"`
+		Cache *struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+			Stores uint64 `json:"stores"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("status body: %v\n%s", err, data)
+	}
+	if st.Status != "ok" || st.Campaigns.Total != 2 || st.Campaigns.ByStatus["done"] != 2 {
+		t.Fatalf("service status wrong: %s", data)
+	}
+	if st.Cache == nil || st.Cache.Misses == 0 || st.Cache.Hits == 0 || st.Cache.Stores != st.Cache.Misses {
+		t.Fatalf("cache counters wrong: %s", data)
+	}
+}
+
+func TestCatalogListsAxes(t *testing.T) {
+	ts := testService(t)
+	code, data := do(t, http.MethodGet, ts.URL+"/catalog", "")
+	if code != http.StatusOK {
+		t.Fatalf("catalog: %d", code)
+	}
+	var cat struct {
+		Names     []string        `json:"names"`
+		Campaigns []campaign.Axes `json:"campaigns"`
+	}
+	if err := json.Unmarshal(data, &cat); err != nil {
+		t.Fatalf("catalog body: %v\n%s", err, data)
+	}
+	if len(cat.Names) == 0 || len(cat.Campaigns) != len(cat.Names) {
+		t.Fatalf("catalog incomplete: %s", data)
+	}
+	found := false
+	for _, ax := range cat.Campaigns {
+		if ax.Name == "relia" {
+			found = true
+			if !ax.Reliability || len(ax.Kinds) == 0 || len(ax.Variants) == 0 || ax.Jobs == 0 {
+				t.Fatalf("relia axes incomplete: %+v", ax)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("relia campaign missing from catalog")
+	}
+}
+
+// TestReliaCampaignViaService: the reliability sweep completes through
+// the HTTP front end and its results carry coverage rows with Wilson
+// bounds and the MTTF/FIT rollup.
+func TestReliaCampaignViaService(t *testing.T) {
+	ts := testService(t)
+	st := submitAndWait(t, ts, `{"name":"relia","scale":"quick","workloads":["apache"],"seeds":[11]}`)
+	if st.Status != "done" {
+		t.Fatalf("relia campaign: %+v", st)
+	}
+	code, res := do(t, http.MethodGet, ts.URL+"/campaigns/"+st.ID+"/results", "")
+	if code != http.StatusOK {
+		t.Fatalf("results: %d", code)
+	}
+	for _, want := range []string{"relia:coverage:", "relia:fit_sdc", "relia:mttf_h"} {
+		if !bytes.Contains(res, []byte(want)) {
+			t.Fatalf("results missing %q:\n%.2000s", want, res)
+		}
+	}
+	// Byte-identical on a cache-warm resubmission.
+	st2 := submitAndWait(t, ts, `{"name":"relia","scale":"quick","workloads":["apache"],"seeds":[11]}`)
+	if st2.Status != "done" || st2.CacheHit != st2.Jobs {
+		t.Fatalf("resubmit not fully cached: %+v", st2)
+	}
+	_, res2 := do(t, http.MethodGet, ts.URL+"/campaigns/"+st2.ID+"/results", "")
+	if !bytes.Equal(res, res2) {
+		t.Fatal("relia results not byte-identical across cache-warm reruns")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -50,6 +51,41 @@ func (c *MemCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.m)
+}
+
+// CountingCache wraps a Cache with hit/miss/store counters, so
+// services can report cache effectiveness without instrumenting every
+// call site. Safe for concurrent use when the wrapped cache is.
+type CountingCache struct {
+	inner              Cache
+	hits, misses, puts atomic.Uint64
+}
+
+// NewCountingCache wraps inner.
+func NewCountingCache(inner Cache) *CountingCache {
+	return &CountingCache{inner: inner}
+}
+
+// Get implements Cache.
+func (c *CountingCache) Get(key string) (core.Metrics, bool) {
+	m, ok := c.inner.Get(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return m, ok
+}
+
+// Put implements Cache.
+func (c *CountingCache) Put(key string, m core.Metrics) error {
+	c.puts.Add(1)
+	return c.inner.Put(key, m)
+}
+
+// Stats reports the lifetime hit/miss/store counts.
+func (c *CountingCache) Stats() (hits, misses, puts uint64) {
+	return c.hits.Load(), c.misses.Load(), c.puts.Load()
 }
 
 // DiskCache is a content-addressed on-disk Cache: each result lives at

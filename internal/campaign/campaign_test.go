@@ -205,3 +205,78 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mangled metrics: %+v", got)
 	}
 }
+
+func TestReliaJobsExpand(t *testing.T) {
+	jobs := ReliaJobs([]string{"apache", "oltp", "pmake"}, []uint64{11}, []float64{20_000, 40_000}, 3)
+	modes := len(ReliaModes())
+	if want := 3 * modes * 2 * 1; len(jobs) != want {
+		t.Fatalf("expanded %d relia jobs, want %d", len(jobs), want)
+	}
+	variants := map[string]bool{}
+	for _, j := range jobs {
+		if j.Knobs.ReliaTrials != 3 {
+			t.Fatalf("job lost its trial count: %+v", j)
+		}
+		if j.Knobs.FaultInterval == 0 {
+			t.Fatalf("job lost its rate: %+v", j)
+		}
+		variants[j.Variant] = true
+	}
+	if len(variants) != modes*2 {
+		t.Fatalf("%d distinct variants, want %d (mode x rate)", len(variants), modes*2)
+	}
+	// Different rates must produce different fingerprints (cache cells).
+	a := jobs[0]
+	b := a
+	b.Knobs.FaultInterval *= 2
+	if a.Fingerprint(microScale()) == b.Fingerprint(microScale()) {
+		t.Fatal("fault rate not part of the job fingerprint")
+	}
+	// The registered campaign resolves and expands.
+	spec, err := Named("relia", []string{"apache"}, []uint64{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Expand(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogAxes(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != len(Names()) {
+		t.Fatalf("catalog has %d entries, want %d", len(cat), len(Names()))
+	}
+	byName := map[string]Axes{}
+	for _, ax := range cat {
+		byName[ax.Name] = ax
+	}
+	relia, ok := byName["relia"]
+	if !ok || !relia.Reliability {
+		t.Fatalf("relia axes missing or not flagged: %+v", relia)
+	}
+	if len(relia.Kinds) == 0 || len(relia.Workloads) == 0 || len(relia.Variants) == 0 || relia.Jobs == 0 {
+		t.Fatalf("relia axes incomplete: %+v", relia)
+	}
+	fig5 := byName["figure5"]
+	if len(fig5.Kinds) != 3 || fig5.Reliability {
+		t.Fatalf("figure5 axes wrong: %+v", fig5)
+	}
+}
+
+func TestCountingCache(t *testing.T) {
+	cc := NewCountingCache(NewMemCache())
+	if _, ok := cc.Get("a"); ok {
+		t.Fatal("phantom hit")
+	}
+	if err := cc.Put("a", core.Metrics{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cc.Get("a"); !ok {
+		t.Fatal("miss after put")
+	}
+	hits, misses, puts := cc.Stats()
+	if hits != 1 || misses != 1 || puts != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 1/1/1", hits, misses, puts)
+	}
+}

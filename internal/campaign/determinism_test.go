@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/stats"
@@ -107,5 +108,66 @@ func TestInterruptedCampaignResumes(t *testing.T) {
 	full, _ := summarizeJSON(t, New(Options{Parallel: 2}), jobs)
 	if !bytes.Equal(resumed, full) {
 		t.Fatal("resumed campaign output differs from an uninterrupted run")
+	}
+}
+
+// reliaTestJobs is a small reliability sweep: every protection mode at
+// one rate, one workload, one seed, three trials per cell.
+func reliaTestJobs() []Job {
+	return ReliaJobs([]string{"apache"}, []uint64{11}, []float64{15_000}, 3)
+}
+
+// TestReliaParallelismDeterminism is the injection-determinism
+// guarantee end to end: the same fault.Plan seeds must produce
+// byte-identical injection logs — and therefore identical outcome
+// tallies, Wilson intervals and MTTF/FIT rows — whether the campaign
+// runs on one worker or NumCPU.
+func TestReliaParallelismDeterminism(t *testing.T) {
+	jobs := reliaTestJobs()
+	seq, rsSeq := summarizeJSON(t, New(Options{Parallel: 1}), jobs)
+	par, rsPar := summarizeJSON(t, New(Options{Parallel: runtime.NumCPU()}), jobs)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("relia campaign diverges across parallelism:\nseq: %s\npar: %s", seq, par)
+	}
+	for i := range rsSeq.Results {
+		a, b := rsSeq.Results[i].Metrics.Relia, rsPar.Results[i].Metrics.Relia
+		if a == nil || b == nil {
+			t.Fatalf("job %d missing relia batch", i)
+		}
+		if a.LogDigest == "" || a.LogDigest != b.LogDigest {
+			t.Fatalf("job %d injection logs differ: %q vs %q", i, a.LogDigest, b.LogDigest)
+		}
+	}
+	if !strings.Contains(string(seq), "relia:coverage:") {
+		t.Fatal("summary carries no reliability rows")
+	}
+}
+
+// TestReliaCacheWarmRerun: reliability batches round-trip the result
+// cache — a warm rerun hits on every job and reproduces the rows and
+// injection-log digests byte for byte.
+func TestReliaCacheWarmRerun(t *testing.T) {
+	jobs := reliaTestJobs()
+	cache, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Options{Parallel: runtime.NumCPU(), Cache: cache})
+	cold, rs := summarizeJSON(t, eng, jobs)
+	if rs.Misses != len(jobs) {
+		t.Fatalf("cold run: %d misses, want %d", rs.Misses, len(jobs))
+	}
+	warm, rs2 := summarizeJSON(t, eng, jobs)
+	if rs2.Hits != len(jobs) {
+		t.Fatalf("warm run: %d hits, want %d", rs2.Hits, len(jobs))
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("cache-warm relia rerun not byte-identical")
+	}
+	for i := range rs.Results {
+		a, b := rs.Results[i].Metrics.Relia, rs2.Results[i].Metrics.Relia
+		if b == nil || a.LogDigest != b.LogDigest {
+			t.Fatalf("job %d digest lost through the cache", i)
+		}
 	}
 }

@@ -4,11 +4,13 @@ import (
 	"context"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/relia"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -163,11 +165,15 @@ feed:
 	return rs, nil
 }
 
-// runJob builds and measures one simulation.
+// runJob builds and measures one simulation (or, for reliability
+// jobs, one Monte Carlo trial batch).
 func runJob(sc Scale, j Job) (core.Metrics, error) {
 	wl, err := workload.ByName(j.Workload)
 	if err != nil {
 		return core.Metrics{}, err
+	}
+	if j.Knobs.ReliaTrials > 0 {
+		return runReliaJob(sc, j, wl)
 	}
 	cfg := sim.DefaultConfig()
 	cfg.TimesliceCycles = sc.Timeslice
@@ -180,9 +186,69 @@ func runJob(sc Scale, j Job) (core.Metrics, error) {
 		PABDisabled: j.Knobs.PABDisabled,
 	}
 	if j.Knobs.FaultInterval > 0 {
-		opts.FaultPlan = &fault.Plan{MeanInterval: j.Knobs.FaultInterval, Seed: j.SimSeed()}
+		opts.FaultPlan = &fault.Plan{
+			MeanInterval: j.Knobs.FaultInterval,
+			Kinds:        parseFaultKinds(j.Knobs.FaultKinds),
+			Seed:         j.SimSeed(),
+		}
 	}
 	return core.RunSystem(opts, sc.Warmup, sc.Measure)
+}
+
+// parseFaultKinds resolves a comma-joined kind list; unknown names are
+// dropped (the fingerprint already separates the cells, and a relia
+// job with an empty set falls back to all kinds).
+func parseFaultKinds(s string) []fault.Kind {
+	if s == "" {
+		return nil
+	}
+	var kinds []fault.Kind
+	for _, name := range strings.Split(s, ",") {
+		if k, err := fault.KindByName(strings.TrimSpace(name)); err == nil {
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds
+}
+
+// runReliaJob executes one reliability batch: ReliaTrials derived-seed
+// trial slices with faults injected at the job's rate, classified into
+// the outcome taxonomy. The batch rides in Metrics.Relia so it flows
+// through the same cache and aggregation as performance jobs.
+func runReliaJob(sc Scale, j Job, wl *workload.Params) (core.Metrics, error) {
+	warmup, measure, timeslice := relia.TrialWindows(sc.Warmup, sc.Measure, j.Knobs.ReliaTrials)
+	// Design knobs (serial PAB, TSO, flush rate) apply to reliability
+	// trials exactly as they do to performance jobs — the fingerprint
+	// distinguishes those cells, so their results must differ too.
+	cfg := sim.DefaultConfig()
+	j.Knobs.apply(cfg)
+	batch, err := relia.RunBatch(relia.BatchSpec{
+		Trials: j.Knobs.ReliaTrials,
+		Trial: relia.TrialSpec{
+			Kind:         j.Kind,
+			Workload:     wl,
+			Config:       cfg,
+			Seed:         j.SimSeed(),
+			Kinds:        parseFaultKinds(j.Knobs.FaultKinds),
+			MeanInterval: j.Knobs.FaultInterval,
+			Warmup:       warmup,
+			Measure:      measure,
+			Timeslice:    timeslice,
+			ForcePAB:     j.Knobs.ForcePAB,
+			PABDisabled:  j.Knobs.PABDisabled,
+		},
+	})
+	if err != nil {
+		return core.Metrics{}, err
+	}
+	m := core.Metrics{
+		Kind:           j.Kind,
+		Workload:       j.Workload,
+		Cycles:         uint64(j.Knobs.ReliaTrials) * measure,
+		FaultsInjected: relia.TotalInjected(&batch),
+		Relia:          &batch,
+	}
+	return m, nil
 }
 
 // summaryMetrics lists the per-key aggregates Summarize emits for the
@@ -247,6 +313,16 @@ func Summarize(rs *ResultSet) []stats.Row {
 				s.Add(sm.get(&ms[i]))
 			}
 			rows = append(rows, stats.RowOf(k, sm.name, s))
+		}
+		// Reliability cells additionally emit the outcome-taxonomy
+		// rows: coverage/SDC with Wilson intervals, outcome counts,
+		// detection-latency percentiles and the MTTF/FIT rollup.
+		batches := make([]*core.ReliaBatch, 0, len(ms))
+		for i := range ms {
+			batches = append(batches, ms[i].Relia)
+		}
+		if merged := relia.MergeBatches(batches); merged != nil {
+			rows = append(rows, relia.Rows(k, merged, relia.DefaultRates())...)
 		}
 	}
 	return rows

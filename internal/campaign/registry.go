@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 // DefaultScale is the standard experiment scale: enough cycles for
@@ -115,6 +116,90 @@ var builders = map[string]func(workloads []string, seeds []uint64) Spec{
 		// the explicit cells.
 		return Spec{Name: "faults", Jobs: FaultJobs(wls, seeds, 40_000)}
 	},
+	"relia": func(wls []string, seeds []uint64) Spec {
+		// The Monte Carlo reliability evaluation: protection modes x
+		// workloads x fault rates, each cell a batch of derived-seed
+		// trials classified by internal/relia.
+		return Spec{Name: "relia", Jobs: ReliaJobs(wls, seeds, nil, 0)}
+	},
+}
+
+// ReliaMode is one protection mode of the reliability sweep: the
+// system kind that realizes it plus the knobs it needs.
+type ReliaMode struct {
+	Name     string
+	Kind     core.Kind
+	ForcePAB bool
+}
+
+// ReliaModes lists the swept protection modes in canonical order:
+// pure performance mode (every VCPU unprotected, stores PAB-guarded),
+// full DMR, the consolidated mixed-mode server, and the single-OS
+// system whose per-trap Enter-DMR exercises the privileged-register
+// verification.
+func ReliaModes() []ReliaMode {
+	return []ReliaMode{
+		{Name: "performance", Kind: core.KindNoDMR2X, ForcePAB: true},
+		{Name: "dmr", Kind: core.KindReunion},
+		{Name: "mixed", Kind: core.KindMMMIPC},
+		{Name: "singleos", Kind: core.KindSingleOS},
+	}
+}
+
+// DefaultFaultRates is the default raw-rate axis: mean cycles between
+// injected faults. Two rates give the sweep a rate dimension without
+// doubling every other axis.
+func DefaultFaultRates() []float64 { return []float64{25_000, 50_000} }
+
+// DefaultReliaTrials is the default Monte Carlo batch size per cell.
+const DefaultReliaTrials = 6
+
+// ReliaVariant names the sweep cell of one mode at one rate, e.g.
+// "dmr-r25000". The variant carries both non-workload axes so cells
+// never collide in the aggregation key; %g keeps distinct fractional
+// rates distinct.
+func ReliaVariant(mode string, rate float64) string {
+	return fmt.Sprintf("%s-r%g", mode, rate)
+}
+
+// ReliaJobs builds the reliability campaign's explicit job list:
+// modes x workloads x rates x seeds. Zero-value arguments select the
+// defaults (all workloads, default seeds, DefaultFaultRates,
+// DefaultReliaTrials).
+func ReliaJobs(workloads []string, seeds []uint64, rates []float64, trials int) []Job {
+	if len(workloads) == 0 {
+		workloads = workload.Names()
+	}
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds()
+	}
+	if len(rates) == 0 {
+		rates = DefaultFaultRates()
+	}
+	if trials <= 0 {
+		trials = DefaultReliaTrials
+	}
+	var jobs []Job
+	for _, wl := range workloads {
+		for _, mode := range ReliaModes() {
+			for _, rate := range rates {
+				for _, seed := range seeds {
+					jobs = append(jobs, Job{
+						Workload: wl,
+						Kind:     mode.Kind,
+						Seed:     seed,
+						Variant:  ReliaVariant(mode.Name, rate),
+						Knobs: Knobs{
+							FaultInterval: rate,
+							ReliaTrials:   trials,
+							ForcePAB:      mode.ForcePAB,
+						},
+					})
+				}
+			}
+		}
+	}
+	return jobs
 }
 
 // FaultJobs builds the protection-validation campaign's explicit job
@@ -162,5 +247,69 @@ func Names() []string {
 		out = append(out, n)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// Axes describes a registered campaign's sweep dimensions under its
+// default axes, so operators can discover what a campaign runs without
+// reading source (served by mmmd's catalog endpoint).
+type Axes struct {
+	Name        string   `json:"name"`
+	Kinds       []string `json:"kinds"`
+	Workloads   []string `json:"workloads"`
+	Variants    []string `json:"variants,omitempty"`
+	Seeds       []uint64 `json:"seeds"`
+	Jobs        int      `json:"jobs"`
+	Reliability bool     `json:"reliability,omitempty"`
+}
+
+// Catalog expands every registered campaign under its default axes and
+// summarizes the distinct values of each dimension, in sorted order.
+func Catalog() []Axes {
+	var out []Axes
+	for _, name := range Names() {
+		spec := builders[name](nil, nil)
+		jobs, err := spec.Expand()
+		if err != nil {
+			// A registered campaign that cannot expand under defaults is
+			// a programming error; surface it as an empty entry rather
+			// than hiding the name.
+			out = append(out, Axes{Name: name})
+			continue
+		}
+		ax := Axes{Name: name, Jobs: len(jobs)}
+		kinds := map[string]bool{}
+		wls := map[string]bool{}
+		variants := map[string]bool{}
+		seeds := map[uint64]bool{}
+		for _, j := range jobs {
+			kinds[j.Kind.String()] = true
+			wls[j.Workload] = true
+			if j.Variant != "" {
+				variants[j.Variant] = true
+			}
+			seeds[j.Seed] = true
+			if j.Knobs.ReliaTrials > 0 {
+				ax.Reliability = true
+			}
+		}
+		for k := range kinds {
+			ax.Kinds = append(ax.Kinds, k)
+		}
+		for w := range wls {
+			ax.Workloads = append(ax.Workloads, w)
+		}
+		for v := range variants {
+			ax.Variants = append(ax.Variants, v)
+		}
+		for s := range seeds {
+			ax.Seeds = append(ax.Seeds, s)
+		}
+		sort.Strings(ax.Kinds)
+		sort.Strings(ax.Workloads)
+		sort.Strings(ax.Variants)
+		sort.Slice(ax.Seeds, func(i, j int) bool { return ax.Seeds[i] < ax.Seeds[j] })
+		out = append(out, ax)
+	}
 	return out
 }

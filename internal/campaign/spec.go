@@ -20,7 +20,11 @@ import (
 // SpecVersion is folded into every job fingerprint. Bump it whenever
 // the simulator's semantics change in a way that invalidates previously
 // cached metrics.
-const SpecVersion = 1
+//
+// v2: Reunion fingerprints cover memory access addresses, persistent
+// divergences escalate to machine checks, and reliability (Monte
+// Carlo trial batch) jobs exist.
+const SpecVersion = 2
 
 // Scale sets the simulation windows shared by every job of a campaign.
 type Scale struct {
@@ -45,6 +49,20 @@ type Knobs struct {
 	// FaultInterval, when positive, injects faults with this mean
 	// spacing in cycles.
 	FaultInterval float64 `json:"fault_interval,omitempty"`
+	// FaultKinds restricts injected manifestations to a comma-joined
+	// list of canonical kind names ("result-flip,tlb-flip"); empty
+	// injects all kinds. A string (not a slice) so Job stays
+	// comparable and deduplicable.
+	FaultKinds string `json:"fault_kinds,omitempty"`
+	// ReliaTrials, when positive, turns the job into a reliability
+	// evaluation batch: that many Monte Carlo fault-injection trials
+	// run and the result carries an outcome taxonomy instead of
+	// performance buckets (see internal/relia).
+	ReliaTrials int `json:"relia_trials,omitempty"`
+	// ForcePAB guards performance-mode stores with the PAB on system
+	// kinds that do not enable it by default (the pure
+	// performance-mode protection scenario).
+	ForcePAB bool `json:"force_pab,omitempty"`
 }
 
 // apply mutates a sim.Config according to the knobs. PABDisabled and
@@ -103,11 +121,12 @@ func (j Job) SimSeed() uint64 {
 func (j Job) Fingerprint(sc Scale) string {
 	h := sha256.New()
 	fmt.Fprintf(h,
-		"v%d|warm=%d|meas=%d|slice=%d|wl=%s|kind=%s|seed=%d|var=%s|pabser=%t|pabdis=%t|tso=%t|flush=%d|fault=%g",
+		"v%d|warm=%d|meas=%d|slice=%d|wl=%s|kind=%s|seed=%d|var=%s|pabser=%t|pabdis=%t|tso=%t|flush=%d|fault=%g|fkinds=%s|rtrials=%d|fpab=%t",
 		SpecVersion, sc.Warmup, sc.Measure, sc.Timeslice,
 		j.Workload, j.Kind, j.Seed, j.Variant,
 		j.Knobs.PABSerial, j.Knobs.PABDisabled, j.Knobs.TSO,
-		j.Knobs.FlushPerCycle, j.Knobs.FaultInterval)
+		j.Knobs.FlushPerCycle, j.Knobs.FaultInterval,
+		j.Knobs.FaultKinds, j.Knobs.ReliaTrials, j.Knobs.ForcePAB)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

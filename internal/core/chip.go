@@ -111,6 +111,12 @@ type Chip struct {
 
 	Injector *fault.Injector
 
+	// onFaultEvent observes protection-mechanism activity for
+	// reliability evaluation (see observe.go); machineChecks counts
+	// unrecoverable-divergence escalations.
+	onFaultEvent  func(FaultEvent)
+	machineChecks uint64
+
 	// Attribution of committed work to guests across reassignments.
 	attrGuest []int // guest occupying each core; -1 idle / duplicate
 	attrUser  []uint64
@@ -159,6 +165,7 @@ func newChip(cfg *sim.Config, kind Kind) *Chip {
 	for i := range c.attrGuest {
 		c.attrGuest[i] = -1
 	}
+	c.installFaultHooks()
 	return c
 }
 
@@ -238,6 +245,7 @@ func (c *Chip) ResetMeasurement() {
 	c.enterN, c.enterCycles = 0, 0
 	c.leaveN, c.leaveCyc = 0, 0
 	c.ctxN, c.ctxCycles = 0, 0
+	c.machineChecks = 0
 	c.Eng.VerifyFailures = 0
 }
 
@@ -280,17 +288,17 @@ func (c *Chip) CorruptTLB(core int, bit uint) bool {
 // the corruption is detected at the next fingerprint/verify point, so
 // we restrict injection to performance-mode cores, the case the paper
 // defends against.
-func (c *Chip) CorruptPrivReg(core int, reg int, bit uint) bool {
+func (c *Chip) CorruptPrivReg(core int, reg int, bit uint) (int, bool) {
 	pi := core / 2
 	if c.curPlan[pi].dmr {
-		return false
+		return -1, false
 	}
 	v := c.runningVCPU(core)
 	if v == nil {
-		return false
+		return -1, false
 	}
 	v.Reg.Priv[reg%len(v.Reg.Priv)] ^= 1 << (bit % 64)
-	return true
+	return v.ID, true
 }
 
 // runningVCPU returns the VCPU whose stream the core is executing.

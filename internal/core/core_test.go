@@ -343,3 +343,95 @@ func TestMetricsHelpers(t *testing.T) {
 		t.Fatal("total throughput wrong")
 	}
 }
+
+func TestFaultFreePABRaisesNoExceptions(t *testing.T) {
+	// Regression for the stale-PAT bug: the PAT must be synced to the
+	// final memory layout, or legitimate performance-mode stores to
+	// guest pages allocated after chip construction are denied.
+	for _, k := range []Kind{KindMMMIPC, KindMMMTP, KindSingleOS} {
+		chip := buildSystem(t, k)
+		m := chip.Measure(30_000, 120_000)
+		if m.PABChecks == 0 {
+			t.Errorf("%v: PAB never consulted", k)
+		}
+		if m.PABExceptions != 0 {
+			t.Errorf("%v: %d PAB exceptions in a fault-free run", k, m.PABExceptions)
+		}
+	}
+}
+
+func TestForcePABGuardsPerformanceSystem(t *testing.T) {
+	plain := buildSystem(t, KindNoDMR2X)
+	mp := plain.Measure(20_000, 60_000)
+	if mp.PABChecks != 0 {
+		t.Fatalf("NoDMR2X consulted the PAB without ForcePAB: %d", mp.PABChecks)
+	}
+	forced := buildSystem(t, KindNoDMR2X, func(o *Options) { o.ForcePAB = true })
+	mf := forced.Measure(20_000, 60_000)
+	if mf.PABChecks == 0 {
+		t.Fatal("ForcePAB did not install the store guard")
+	}
+	if mf.PABExceptions != 0 {
+		t.Fatalf("%d PAB exceptions in a fault-free forced-PAB run", mf.PABExceptions)
+	}
+}
+
+func TestTLBFaultUnderDMRMachineChecks(t *testing.T) {
+	// A corrupted translation under DMR diverges the address-bearing
+	// fingerprints persistently: squash-and-retry cannot clear it, the
+	// pair must escalate to a machine check, flush its TLBs and then
+	// keep making progress.
+	chip := buildSystem(t, KindReunion)
+	chip.Run(30_000)
+	chip.ResetMeasurement()
+	start := chip.Now
+	injected := false
+	for core := 0; core < chip.Cfg.Cores && !injected; core++ {
+		injected = chip.CorruptTLB(core, 7)
+	}
+	if !injected {
+		t.Skip("no live TLB entry to corrupt")
+	}
+	chip.Run(150_000)
+	m := chip.Collect(chip.Now - start)
+	if m.MachineChecks == 0 {
+		t.Fatal("persistent fingerprint divergence never escalated to a machine check")
+	}
+	if m.Mismatches == 0 {
+		t.Fatal("corrupted translation never mismatched")
+	}
+	if m.TotalThroughput() == 0 {
+		t.Fatal("system did not survive the machine check")
+	}
+}
+
+func TestFaultObserverSeesEvents(t *testing.T) {
+	plan := &fault.Plan{MeanInterval: 10_000, Kinds: []fault.Kind{fault.ResultFlip}}
+	chip := buildSystem(t, KindReunion, func(o *Options) { o.FaultPlan = plan })
+	var mismatches int
+	chip.SetFaultObserver(func(ev FaultEvent) {
+		if ev.Kind == EvMismatch {
+			mismatches++
+		}
+	})
+	chip.Run(200_000)
+	if chip.Injector.Total() == 0 {
+		t.Skip("no faults landed")
+	}
+	if mismatches == 0 {
+		t.Fatal("observer saw no mismatch events")
+	}
+	// The observer must see exactly the mismatches the pairs record.
+	if uint64(mismatches) != sumMismatches(chip) {
+		t.Fatalf("observer saw %d mismatches, pairs recorded %d",
+			mismatches, sumMismatches(chip))
+	}
+}
+
+func sumMismatches(c *Chip) uint64 {
+	var n uint64
+	for _, p := range c.Pairs {
+		n += p.Mismatches
+	}
+	return n
+}

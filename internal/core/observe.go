@@ -1,0 +1,191 @@
+package core
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// FaultEventKind classifies one protection-mechanism observation the
+// chip can report while a fault campaign runs.
+type FaultEventKind uint8
+
+const (
+	// EvMismatch: a Reunion fingerprint mismatch was detected on a pair
+	// (the Core field is the pair's vocal core).
+	EvMismatch FaultEventKind = iota
+	// EvUnrecoverable: repeated mismatches of one instruction escalated
+	// to a machine check (persistent divergence, e.g. a corrupted TLB
+	// entry); the handler flushed the pair's TLBs and restarted it.
+	EvUnrecoverable
+	// EvPABException: the PAB denied a performance-mode store before it
+	// reached the L2.
+	EvPABException
+	// EvWouldCorrupt: the disabled-PAB oracle observed a violation that
+	// reached memory unchecked.
+	EvWouldCorrupt
+	// EvSilentResult: an injected result corruption landed on an
+	// execution with no Check stage — silent data corruption.
+	EvSilentResult
+	// EvCorruptUse: a translation corrupted by fault injection was
+	// consumed by the pipeline (first use only).
+	EvCorruptUse
+	// EvVerifyFailure: the Enter-DMR privileged-register verification
+	// caught a divergence and recovered from the redundant copy.
+	EvVerifyFailure
+)
+
+// String names the event kind.
+func (k FaultEventKind) String() string {
+	switch k {
+	case EvMismatch:
+		return "mismatch"
+	case EvUnrecoverable:
+		return "unrecoverable"
+	case EvPABException:
+		return "pab-exception"
+	case EvWouldCorrupt:
+		return "would-corrupt"
+	case EvSilentResult:
+		return "silent-result"
+	case EvCorruptUse:
+		return "corrupt-use"
+	case EvVerifyFailure:
+		return "verify-failure"
+	default:
+		return "?"
+	}
+}
+
+// FaultEvent is one observation, timestamped in chip cycles.
+type FaultEvent struct {
+	Kind  FaultEventKind
+	Core  int // physical core (-1 when not applicable)
+	VCPU  int // victim VCPU id (-1 when not applicable)
+	Cycle sim.Cycle
+}
+
+// SetFaultObserver installs (or, with nil, removes) the chip-wide
+// fault-event observer. Events fire synchronously during Tick, on the
+// simulation goroutine.
+func (c *Chip) SetFaultObserver(fn func(FaultEvent)) {
+	c.onFaultEvent = fn
+}
+
+// emitFault reports an event to the observer, if any.
+func (c *Chip) emitFault(ev FaultEvent) {
+	if c.onFaultEvent != nil {
+		c.onFaultEvent(ev)
+	}
+}
+
+// installFaultHooks wires the protection substrates' callbacks to the
+// chip's observer and machine-check path. Called once from newChip;
+// the hooks are permanent (they only forward when an observer is set,
+// except the machine-check recovery, which always runs — a stuck pair
+// must make progress whether or not anyone is watching).
+func (c *Chip) installFaultHooks() {
+	for pi, pair := range c.Pairs {
+		pair.OnMismatch = func(seq uint64, now sim.Cycle) {
+			c.emitFault(FaultEvent{Kind: EvMismatch, Core: 2 * pi, VCPU: -1, Cycle: now})
+		}
+		pair.OnUnrecoverable = func(seq uint64, now sim.Cycle) {
+			c.machineCheck(pi, now)
+		}
+	}
+	for i, p := range c.PABs {
+		p.OnException = func(core int, pa uint64, now sim.Cycle) {
+			c.emitFault(FaultEvent{Kind: EvPABException, Core: i, VCPU: -1, Cycle: now})
+		}
+		p.OnWouldCorrupt = func(core int, pa uint64, now sim.Cycle) {
+			c.emitFault(FaultEvent{Kind: EvWouldCorrupt, Core: i, VCPU: -1, Cycle: now})
+		}
+	}
+	for i, core := range c.Cores {
+		core.OnSilentFault = func(_ *cpu.Core, now sim.Cycle) {
+			c.emitFault(FaultEvent{Kind: EvSilentResult, Core: i, VCPU: -1, Cycle: now})
+		}
+		core.TLB.OnCorruptUse(func(vpage, ppage uint64) {
+			c.emitFault(FaultEvent{Kind: EvCorruptUse, Core: i, VCPU: -1, Cycle: c.Now})
+		})
+	}
+	c.Eng.OnVerifyFailure = func(vcpu int, now sim.Cycle) {
+		c.emitFault(FaultEvent{Kind: EvVerifyFailure, Core: -1, VCPU: vcpu, Cycle: now})
+	}
+}
+
+// machineCheck is the unrecoverable-divergence handler: the pair traps
+// to system software, which flushes both cores' TLBs (clearing any
+// corrupted translation — page tables themselves are intact), charges
+// the machine-check latency, and restarts the pair. Without this path
+// a persistently diverging pair would retry the same instruction until
+// the end of the simulation.
+func (c *Chip) machineCheck(pi int, now sim.Cycle) {
+	vocal, mute := c.Cores[2*pi], c.Cores[2*pi+1]
+	vocal.TLB.Flush()
+	mute.TLB.Flush()
+	until := now + c.Cfg.MachineCheckPenalty
+	vocal.BlockUntil(until)
+	mute.BlockUntil(until)
+	c.machineChecks++
+	c.emitFault(FaultEvent{Kind: EvUnrecoverable, Core: 2 * pi, VCPU: -1, Cycle: now})
+}
+
+// ReliaBatch summarizes one Monte Carlo reliability trial batch: the
+// per-kind injected-fault counts, the outcome tallies, the detection
+// latencies and the injection-log digest. It rides inside Metrics so
+// reliability jobs flow through the same campaign cache and
+// aggregation machinery as performance jobs. The type lives here (not
+// in internal/relia, which fills it) because Metrics cannot depend on
+// the evaluation layer above it.
+type ReliaBatch struct {
+	// Trials is the number of independent trial slices in the batch.
+	Trials int `json:"trials"`
+	// Injected counts successfully injected faults per kind name.
+	Injected map[string]uint64 `json:"injected,omitempty"`
+	// Misses counts injection attempts with no viable target.
+	Misses uint64 `json:"misses,omitempty"`
+	// Outcomes tallies classified faults, keyed "<kind>/<outcome>".
+	Outcomes map[string]uint64 `json:"outcomes,omitempty"`
+	// DetectLat holds sorted detection latencies (cycles from injection
+	// to the detecting event) per kind name, over detected faults only.
+	DetectLat map[string][]float64 `json:"detect_lat,omitempty"`
+	// Recovery sums recovery-cost cycles per outcome name.
+	Recovery map[string]float64 `json:"recovery,omitempty"`
+	// LogDigest is a SHA-256 over the batch's ordered injection logs;
+	// byte-identical across reruns and parallelism levels.
+	LogDigest string `json:"log_digest,omitempty"`
+}
+
+// Merge folds another batch into b (for aggregating seeds of one
+// sweep cell). Latency slices are re-sorted by the caller.
+func (b *ReliaBatch) Merge(o *ReliaBatch) {
+	if o == nil {
+		return
+	}
+	b.Trials += o.Trials
+	b.Misses += o.Misses
+	for k, v := range o.Injected {
+		if b.Injected == nil {
+			b.Injected = make(map[string]uint64)
+		}
+		b.Injected[k] += v
+	}
+	for k, v := range o.Outcomes {
+		if b.Outcomes == nil {
+			b.Outcomes = make(map[string]uint64)
+		}
+		b.Outcomes[k] += v
+	}
+	for k, v := range o.DetectLat {
+		if b.DetectLat == nil {
+			b.DetectLat = make(map[string][]float64)
+		}
+		b.DetectLat[k] = append(b.DetectLat[k], v...)
+	}
+	for k, v := range o.Recovery {
+		if b.Recovery == nil {
+			b.Recovery = make(map[string]float64)
+		}
+		b.Recovery[k] += v
+	}
+}

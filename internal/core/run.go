@@ -35,9 +35,15 @@ type Metrics struct {
 	PABChecks, PABMisses, PABExceptions uint64
 	WouldCorrupt                        uint64
 	VerifyFailures                      uint64
+	MachineChecks                       uint64
 
 	// Fault campaign.
 	FaultsInjected uint64
+
+	// Relia, when non-nil, is the Monte Carlo reliability batch this
+	// metrics record summarizes (reliability jobs carry outcome
+	// tallies instead of performance buckets).
+	Relia *ReliaBatch `json:"Relia,omitempty"`
 
 	// Single-OS switching cadence (Table 2).
 	UserCycPerSwitch float64
@@ -125,6 +131,7 @@ func (c *Chip) Collect(window sim.Cycle) Metrics {
 		m.WouldCorrupt += p.WouldCorrupt
 	}
 	m.VerifyFailures = c.Eng.VerifyFailures
+	m.MachineChecks = c.machineChecks
 	m.EnterN, m.LeaveN, m.CtxN = c.enterN, c.leaveN, c.ctxN
 	if c.enterN > 0 {
 		m.EnterAvg = float64(c.enterCycles) / float64(c.enterN)

@@ -26,6 +26,11 @@ type Options struct {
 	// PABDisabled turns PAB enforcement off (fault-injection ablation:
 	// violations are counted, not prevented).
 	PABDisabled bool
+	// ForcePAB guards performance-mode stores with the PAB even on
+	// system kinds that do not enable it by default (the pure
+	// performance-mode reliability scenario: NoDMR2X with the MMM's
+	// memory protection active).
+	ForcePAB bool
 	// FaultPlan, when non-nil, runs a fault-injection campaign.
 	FaultPlan *fault.Plan
 }
@@ -159,6 +164,16 @@ func NewSystem(opts Options) (*Chip, error) {
 		return nil, fmt.Errorf("core: unknown system kind %d", opts.Kind)
 	}
 
+	// Publish the finished memory layout to the PAT. The table was
+	// created with the bare chip, before the guests above allocated
+	// their memory; without this sync every guest page would still
+	// read reliable-only and the PAB would deny legitimate
+	// performance-mode stores.
+	c.PAT.Sync(c.PM)
+
+	if opts.ForcePAB {
+		c.usePAB = true
+	}
 	if opts.PABDisabled {
 		for _, p := range c.PABs {
 			p.Enabled = false

@@ -110,6 +110,11 @@ type Core struct {
 	OnTrapEnter  func(c *Core) bool
 	OnTrapReturn func(c *Core) bool
 
+	// OnSilentFault fires when an injected result corruption lands on
+	// an execution with no Check stage to compare it against — the
+	// silent-data-corruption case reliability evaluation scores.
+	OnSilentFault func(c *Core, now sim.Cycle)
+
 	C stats.CoreCounters
 }
 
@@ -502,12 +507,22 @@ func (c *Core) execute(e *entry, now sim.Cycle) {
 			fp = corrupted.Fingerprint()
 			c.faultFlip = 0
 		}
+		// Reunion fingerprints cover memory access addresses as well as
+		// register updates: fold the translated physical address in, so
+		// a corrupted translation on either side of the pair diverges
+		// the fingerprints and is detected at the Check stage.
+		if e.inst.Class == isa.Load || e.inst.Class == isa.Store {
+			fp ^= (e.pa + 0x9e3779b97f4a7c15) * 0xff51afd7ed558ccd
+		}
 		c.gate.Complete(c.side, e.inst.Seq, e.done, fp)
 	} else if c.faultFlip != 0 {
 		// Unprotected execution: the corruption lands silently (no
 		// fingerprint comparison exists to catch it).
 		e.inst.Result ^= c.faultFlip
 		c.faultFlip = 0
+		if c.OnSilentFault != nil {
+			c.OnSilentFault(c, now)
+		}
 	}
 }
 

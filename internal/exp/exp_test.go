@@ -172,3 +172,48 @@ func TestKeyFormat(t *testing.T) {
 		t.Fatal(key("apache", core.KindNoDMR, "v"))
 	}
 }
+
+func TestReliabilityStudyShape(t *testing.T) {
+	c := tiny()
+	c.Workloads = []string{"apache"}
+	rows, err := ReliabilityStudy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := len(campaign.ReliaModes())
+	rates := len(campaign.DefaultFaultRates())
+	if len(rows) != modes*rates {
+		t.Fatalf("rows = %d, want %d (modes x rates)", len(rows), modes*rates)
+	}
+	agg := map[string]*ReliaRow{}
+	for i := range rows {
+		r := &rows[i]
+		if a := agg[r.Mode]; a == nil {
+			cp := *r
+			agg[r.Mode] = &cp
+		} else {
+			a.Faults += r.Faults
+			a.SDC += r.SDC
+			a.DUE += r.DUE
+			a.Prevented += r.Prevented
+		}
+	}
+	// DMR mode must never leak silent corruption, and its result-flip
+	// coverage interval must include 100%.
+	if d := agg["dmr"]; d == nil || d.SDC != 0 {
+		t.Fatalf("dmr mode leaked SDC: %+v", d)
+	}
+	for _, r := range rows {
+		if r.Mode == "dmr" && r.Faults > 0 && r.ResultHi != 1 {
+			t.Fatalf("dmr result coverage interval excludes 100%%: %+v", r)
+		}
+	}
+	// Performance mode accepts SDC (unchecked result flips) while the
+	// PAB prevents TLB-flip stores that threaten protected memory.
+	if p := agg["performance"]; p == nil || p.Faults == 0 || p.SDC == 0 {
+		t.Fatalf("performance mode shape wrong: %+v", agg["performance"])
+	}
+	if ReliabilityTable(rows).String() == "" {
+		t.Fatal("table renders empty")
+	}
+}

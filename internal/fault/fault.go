@@ -11,11 +11,20 @@
 //     mode;
 //   - privileged-register corruption during performance mode: caught by
 //     the mute's redundant copy verification on Enter-DMR.
+//
+// Every injection attempt is recorded in an ordered log so downstream
+// evaluation (internal/relia) can attribute protection-mechanism events
+// back to individual faults and classify each one's outcome.
 package fault
 
-import "repro/internal/sim"
+import (
+	"fmt"
 
-// Kind is a fault manifestation.
+	"repro/internal/sim"
+)
+
+// Kind is a fault manifestation: which hardware structure the fault
+// corrupts.
 type Kind uint8
 
 const (
@@ -26,6 +35,9 @@ const (
 	// PrivRegFlip flips a bit in a privileged register.
 	PrivRegFlip
 )
+
+// AllKinds lists every manifestation in canonical order.
+func AllKinds() []Kind { return []Kind{ResultFlip, TLBFlip, PrivRegFlip} }
 
 // String names the kind.
 func (k Kind) String() string {
@@ -41,6 +53,17 @@ func (k Kind) String() string {
 	}
 }
 
+// KindByName resolves a canonical kind name ("result-flip", "tlb-flip",
+// "privreg-flip").
+func KindByName(name string) (Kind, error) {
+	for _, k := range AllKinds() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown kind %q", name)
+}
+
 // Target is the chip surface the injector corrupts. It is implemented
 // by the core (MMM) package.
 type Target interface {
@@ -53,8 +76,9 @@ type Target interface {
 	// returning false if the core had no suitable entry.
 	CorruptTLB(core int, bit uint) bool
 	// CorruptPrivReg flips a bit in a privileged register of the VCPU
-	// currently running on core, returning false if the core is idle.
-	CorruptPrivReg(core int, reg int, bit uint) bool
+	// currently running on core, returning the victim VCPU's id, or
+	// ok=false if the core is idle or protected.
+	CorruptPrivReg(core int, reg int, bit uint) (vcpu int, ok bool)
 }
 
 // Plan configures an injection campaign.
@@ -64,8 +88,26 @@ type Plan struct {
 	MeanInterval float64
 	// Kinds enables specific manifestations; empty enables all.
 	Kinds []Kind
+	// Cores restricts injection to the listed physical cores
+	// (per-structure targeting of one core's pipeline/TLB/register
+	// file); empty targets all cores.
+	Cores []int
+	// MaxFaults, when positive, stops the campaign after that many
+	// successful injections — the single-fault Monte Carlo trial mode.
+	MaxFaults int
 	// Seed makes the campaign reproducible.
 	Seed uint64
+}
+
+// Injection is one recorded injection attempt, in campaign order.
+type Injection struct {
+	Seq   uint64    `json:"seq"` // 1-based attempt number
+	Kind  Kind      `json:"kind"`
+	Core  int       `json:"core"`
+	Cycle sim.Cycle `json:"cycle"`
+	Hit   bool      `json:"hit"`  // false: no viable target (miss)
+	VCPU  int       `json:"vcpu"` // victim VCPU id (privreg flips), -1 otherwise
+	Bit   uint      `json:"bit"`
 }
 
 // Injector drives a Plan against a Target.
@@ -74,16 +116,22 @@ type Injector struct {
 	rng   *sim.Rand
 	next  sim.Cycle
 	kinds []Kind
+	hits  int
 
 	Injected map[Kind]uint64
 	Misses   uint64 // injection attempts with no viable target
+
+	// Log records every injection attempt in order. With a fixed Seed
+	// the log is byte-identical across runs, which is what lets trial
+	// outcomes be attributed to individual faults.
+	Log []Injection
 }
 
 // NewInjector creates an injector; the first fault fires after one
 // sampled interval.
 func NewInjector(plan Plan) *Injector {
 	if len(plan.Kinds) == 0 {
-		plan.Kinds = []Kind{ResultFlip, TLBFlip, PrivRegFlip}
+		plan.Kinds = AllKinds()
 	}
 	inj := &Injector{
 		plan:     plan,
@@ -91,39 +139,86 @@ func NewInjector(plan Plan) *Injector {
 		kinds:    plan.Kinds,
 		Injected: make(map[Kind]uint64),
 	}
-	inj.next = sim.Cycle(inj.rng.Geometric(plan.MeanInterval))
+	inj.next = inj.step()
 	return inj
+}
+
+// step samples the next inter-fault interval, clamped to at least one
+// cycle so Tick's catch-up loop always advances (a sampled interval of
+// zero would livelock the simulation at tiny MeanInterval values).
+func (inj *Injector) step() sim.Cycle {
+	d := inj.rng.Geometric(inj.plan.MeanInterval)
+	if d < 1 {
+		d = 1
+	}
+	return sim.Cycle(d)
+}
+
+// Rebase schedules the next fault one sampled interval after now.
+// Callers that install an injector mid-run (e.g. after a fault-free
+// warmup window) use it so the elapsed cycles do not fire as a burst
+// of backlogged faults.
+func (inj *Injector) Rebase(now sim.Cycle) {
+	inj.next = now + inj.step()
+}
+
+// Done reports whether a bounded campaign has injected all its faults.
+func (inj *Injector) Done() bool {
+	return inj.plan.MaxFaults > 0 && inj.hits >= inj.plan.MaxFaults
 }
 
 // Tick fires any due fault at the given cycle.
 func (inj *Injector) Tick(now sim.Cycle, t Target) {
 	for now >= inj.next {
-		inj.inject(t)
-		inj.next += sim.Cycle(inj.rng.Geometric(inj.plan.MeanInterval))
+		if inj.Done() {
+			return
+		}
+		inj.inject(now, t)
+		inj.next += inj.step()
 	}
 }
 
-func (inj *Injector) inject(t Target) {
+// pickCore selects the victim core from the plan's target set.
+func (inj *Injector) pickCore(t Target) int {
+	if len(inj.plan.Cores) > 0 {
+		return inj.plan.Cores[inj.rng.Intn(len(inj.plan.Cores))]
+	}
+	return inj.rng.Intn(t.NumCores())
+}
+
+func (inj *Injector) inject(now sim.Cycle, t Target) {
 	kind := inj.kinds[inj.rng.Intn(len(inj.kinds))]
-	core := inj.rng.Intn(t.NumCores())
+	core := inj.pickCore(t)
+	rec := Injection{
+		Seq:   uint64(len(inj.Log) + 1),
+		Kind:  kind,
+		Core:  core,
+		Cycle: now,
+		VCPU:  -1,
+	}
 	switch kind {
 	case ResultFlip:
-		mask := uint64(1) << uint(inj.rng.Intn(64))
-		t.CorruptResult(core, mask)
-		inj.Injected[kind]++
+		rec.Bit = uint(inj.rng.Intn(64))
+		t.CorruptResult(core, uint64(1)<<rec.Bit)
+		rec.Hit = true
 	case TLBFlip:
-		if t.CorruptTLB(core, uint(inj.rng.Intn(20))) {
-			inj.Injected[kind]++
-		} else {
-			inj.Misses++
-		}
+		rec.Bit = uint(inj.rng.Intn(20))
+		rec.Hit = t.CorruptTLB(core, rec.Bit)
 	case PrivRegFlip:
-		if t.CorruptPrivReg(core, inj.rng.Intn(64), uint(inj.rng.Intn(64))) {
-			inj.Injected[kind]++
-		} else {
-			inj.Misses++
+		reg := inj.rng.Intn(64)
+		rec.Bit = uint(inj.rng.Intn(64))
+		rec.VCPU, rec.Hit = t.CorruptPrivReg(core, reg, rec.Bit)
+		if !rec.Hit {
+			rec.VCPU = -1
 		}
 	}
+	if rec.Hit {
+		inj.Injected[kind]++
+		inj.hits++
+	} else {
+		inj.Misses++
+	}
+	inj.Log = append(inj.Log, rec)
 }
 
 // Total returns the number of injected faults.

@@ -25,9 +25,12 @@ func (m *mockTarget) CorruptTLB(core int, bit uint) bool {
 	m.tlbs++
 	return m.tlbOK
 }
-func (m *mockTarget) CorruptPrivReg(core, reg int, bit uint) bool {
+func (m *mockTarget) CorruptPrivReg(core, reg int, bit uint) (int, bool) {
 	m.privs++
-	return m.privOK
+	if !m.privOK {
+		return -1, false
+	}
+	return core, true
 }
 
 func TestInjectionRate(t *testing.T) {
@@ -95,5 +98,123 @@ func TestKindStrings(t *testing.T) {
 		if k.String() == "?" {
 			t.Fatalf("kind %d unnamed", k)
 		}
+		rt, err := KindByName(k.String())
+		if err != nil || rt != k {
+			t.Fatalf("KindByName(%q) = %v, %v", k.String(), rt, err)
+		}
+	}
+	if _, err := KindByName("meteor-strike"); err == nil {
+		t.Fatal("unknown kind name accepted")
+	}
+}
+
+// TestTinyMeanIntervalAdvances is the livelock regression test: with a
+// sub-cycle mean interval every sampled gap must still clamp to at
+// least one cycle, so Tick's catch-up loop terminates and fires at
+// most one fault per elapsed cycle.
+func TestTinyMeanIntervalAdvances(t *testing.T) {
+	for _, mean := range []float64{0, 1e-9, 0.5, 1} {
+		inj := NewInjector(Plan{MeanInterval: mean, Seed: 3})
+		tg := &mockTarget{cores: 4, tlbOK: true, privOK: true}
+		const horizon = 5_000
+		for now := uint64(0); now < horizon; now++ {
+			inj.Tick(now, tg)
+		}
+		if got := uint64(len(inj.Log)); got > horizon {
+			t.Fatalf("mean %g: %d attempts over %d cycles (interval collapsed below 1)", mean, got, horizon)
+		}
+		if inj.Total() == 0 {
+			t.Fatalf("mean %g: no faults fired", mean)
+		}
+	}
+}
+
+// TestInjectionLogDeterminism: the same Plan.Seed must produce a
+// byte-identical injection log (kind/core/cycle sequence), the
+// property outcome attribution and campaign caching rely on.
+func TestInjectionLogDeterminism(t *testing.T) {
+	run := func() []Injection {
+		inj := NewInjector(Plan{MeanInterval: 500, Seed: 42})
+		tg := &mockTarget{cores: 8, tlbOK: true, privOK: true}
+		for now := uint64(0); now < 100_000; now++ {
+			inj.Tick(now, tg)
+		}
+		return inj.Log
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("empty log")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("log lengths differ: %d vs %d", len(a), len(b))
+	}
+	var prev uint64
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("log entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Seq != uint64(i+1) {
+			t.Fatalf("entry %d has seq %d", i, a[i].Seq)
+		}
+		if a[i].Cycle < prev {
+			t.Fatalf("entry %d goes backwards: %d < %d", i, a[i].Cycle, prev)
+		}
+		prev = a[i].Cycle
+	}
+}
+
+// TestCoreTargeting: Plan.Cores restricts every injection to the
+// listed victim cores.
+func TestCoreTargeting(t *testing.T) {
+	inj := NewInjector(Plan{MeanInterval: 100, Seed: 9, Cores: []int{3, 5}})
+	tg := &mockTarget{cores: 16, tlbOK: true, privOK: true}
+	for now := uint64(0); now < 50_000; now++ {
+		inj.Tick(now, tg)
+	}
+	if len(inj.Log) == 0 {
+		t.Fatal("nothing injected")
+	}
+	for _, in := range inj.Log {
+		if in.Core != 3 && in.Core != 5 {
+			t.Fatalf("injection on untargeted core %d", in.Core)
+		}
+	}
+}
+
+// TestMaxFaultsBoundsCampaign: a bounded plan stops after exactly
+// MaxFaults successful injections.
+func TestMaxFaultsBoundsCampaign(t *testing.T) {
+	inj := NewInjector(Plan{MeanInterval: 50, Seed: 5, MaxFaults: 7})
+	tg := &mockTarget{cores: 4, tlbOK: true, privOK: true}
+	for now := uint64(0); now < 100_000; now++ {
+		inj.Tick(now, tg)
+	}
+	if inj.Total() != 7 {
+		t.Fatalf("injected %d faults, want exactly 7", inj.Total())
+	}
+	if !inj.Done() {
+		t.Fatal("bounded campaign not done")
+	}
+}
+
+// TestRebaseDefersFirstFault: Rebase must push the next fault past the
+// rebase point so a mid-run installation does not fire a backlog
+// burst.
+func TestRebaseDefersFirstFault(t *testing.T) {
+	inj := NewInjector(Plan{MeanInterval: 100, Seed: 11})
+	inj.Rebase(10_000)
+	tg := &mockTarget{cores: 4, tlbOK: true, privOK: true}
+	inj.Tick(10_000, tg)
+	if len(inj.Log) != 0 {
+		t.Fatalf("fault fired at the rebase cycle itself: %+v", inj.Log)
+	}
+	for now := uint64(10_000); now < 12_000; now++ {
+		inj.Tick(now, tg)
+	}
+	if len(inj.Log) == 0 {
+		t.Fatal("no faults after rebase")
+	}
+	if first := inj.Log[0].Cycle; first <= 10_000 {
+		t.Fatalf("first fault at %d, want after the rebase point", first)
 	}
 }

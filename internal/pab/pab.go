@@ -86,6 +86,18 @@ func (t *Table) ReliableOnly(ppage uint64) bool {
 	return t.bits[ppage/64]&(1<<(ppage%64)) != 0
 }
 
+// Sync rewrites every PAT bit from the current ownership map — the
+// system-software step that publishes a finished memory layout. A PAT
+// snapshotted before guest memory is allocated marks every
+// later-allocated performance page reliable-only, making the PAB deny
+// legitimate stores; system construction calls Sync once layout is
+// done.
+func (t *Table) Sync(pm *paging.PhysMap) {
+	for p := uint64(0); p < t.pages; p++ {
+		t.set(p, pm.ReliableOnly(p))
+	}
+}
+
 // Update is the system-software path: it rewrites the PAT bit for a
 // physical page (called whenever the page table changes, e.g. on a
 // page fault or remap) and returns the physical address of the PAT
@@ -139,6 +151,13 @@ type PAB struct {
 	// WouldCorrupt counts stores that violated the PAT while
 	// enforcement was disabled.
 	WouldCorrupt uint64
+
+	// OnException, when non-nil, observes every store the PAB denied;
+	// OnWouldCorrupt observes every violation the disabled-PAB oracle
+	// recorded. Reliability evaluation attributes these to injected
+	// faults.
+	OnException    func(core int, pa uint64, now sim.Cycle)
+	OnWouldCorrupt func(core int, pa uint64, now sim.Cycle)
 }
 
 // New creates the PAB for one core.
@@ -214,6 +233,9 @@ func (p *PAB) CheckStore(core int, pa uint64, now sim.Cycle) (sim.Cycle, bool) {
 		// prevented, at no cost and with no protection.
 		if p.table.ReliableOnly(ppage) {
 			p.WouldCorrupt++
+			if p.OnWouldCorrupt != nil {
+				p.OnWouldCorrupt(core, pa, now)
+			}
 		}
 		return 0, false
 	}
@@ -239,6 +261,9 @@ func (p *PAB) CheckStore(core int, pa uint64, now sim.Cycle) (sim.Cycle, bool) {
 		return extra, false
 	}
 	p.C.PABExceptions++
+	if p.OnException != nil {
+		p.OnException(core, pa, now)
+	}
 	return extra, true
 }
 

@@ -208,3 +208,48 @@ func TestDemapAll(t *testing.T) {
 		t.Fatalf("demapped %d entries, want 8", tlb.Demaps)
 	}
 }
+
+func TestTLBCorruptUseReportedOnce(t *testing.T) {
+	pm := newTestMap()
+	s := NewSpace(1, DomainPerformance, 0, pm)
+	s.MapRegion("d", 0, 1)
+	tlb := NewTLB(64)
+	var uses int
+	tlb.OnCorruptUse(func(vpage, ppage uint64) { uses++ })
+	tlb.Lookup(s, 0)
+	if !tlb.CorruptEntry(1, 0, 3) {
+		t.Fatal("corruption target not found")
+	}
+	if uses != 0 {
+		t.Fatal("corrupt-use fired before any use")
+	}
+	tlb.Lookup(s, 0)
+	tlb.Lookup(s, 0)
+	tlb.Lookup(s, 0)
+	if uses != 1 {
+		t.Fatalf("corrupt-use fired %d times, want exactly once", uses)
+	}
+}
+
+func TestTLBFlushClearsEverything(t *testing.T) {
+	pm := newTestMap()
+	s := NewSpace(1, DomainPerformance, 0, pm)
+	s.MapRegion("d", 0, 2)
+	tlb := NewTLB(64)
+	var demapped int
+	tlb.OnDemap(func(uint64) { demapped++ })
+	good, _, _ := tlb.Lookup(s, 0)
+	tlb.CorruptEntry(1, 0, 3)
+	tlb.Flush()
+	// No demap notifications: the page tables did not change.
+	if demapped != 0 {
+		t.Fatalf("flush fired %d demap notifications", demapped)
+	}
+	pa, hit, ok := tlb.Lookup(s, 0)
+	if hit {
+		t.Fatal("entry survived the flush")
+	}
+	if !ok || pa != good {
+		t.Fatalf("refill after flush returned %#x, want the correct %#x", pa, good)
+	}
+}

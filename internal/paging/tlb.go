@@ -7,6 +7,10 @@ type TLBEntry struct {
 	vpage uint64
 	ppage uint64
 	lru   uint64
+	// corrupt marks an entry whose physical page was flipped by fault
+	// injection and whose first use has not yet been reported. The flag
+	// is instrumentation only — the flipped ppage itself is the fault.
+	corrupt bool
 }
 
 // TLB is a set-associative, hardware-filled translation lookaside
@@ -32,6 +36,12 @@ type TLB struct {
 	// PAB can invalidate its corresponding entry (the PAB coherence
 	// rule of Section 3.4.1).
 	demapListener func(ppage uint64)
+
+	// corruptListener is notified (once per injected corruption) when a
+	// translation corrupted by fault injection is actually consumed by
+	// the pipeline; reliability evaluation uses it to distinguish faults
+	// that propagated from faults that vanished in the array.
+	corruptListener func(vpage, ppage uint64)
 }
 
 // NewTLB creates a TLB with n entries, 4-way set associative (n must
@@ -52,6 +62,10 @@ func NewTLB(n int) *TLB {
 // demapped translation.
 func (t *TLB) OnDemap(fn func(ppage uint64)) { t.demapListener = fn }
 
+// OnCorruptUse registers fn to be called the first time a corrupted
+// translation is consumed by a lookup.
+func (t *TLB) OnCorruptUse(fn func(vpage, ppage uint64)) { t.corruptListener = fn }
+
 func (t *TLB) setOf(asid int, vpage uint64) int {
 	return int((vpage ^ uint64(asid)*0x9e37) % uint64(t.sets))
 }
@@ -69,6 +83,12 @@ func (t *TLB) Lookup(s *Space, va uint64) (pa uint64, hit, ok bool) {
 		e := &t.entries[base+i]
 		if e.valid && e.asid == s.ASID && e.vpage == vpage {
 			e.lru = t.tick
+			if e.corrupt {
+				e.corrupt = false
+				if t.corruptListener != nil {
+					t.corruptListener(e.vpage, e.ppage)
+				}
+			}
 			return e.ppage<<s.phys.pageShift | off, true, true
 		}
 	}
@@ -141,10 +161,22 @@ func (t *TLB) CorruptEntry(asid int, vpage uint64, bit uint) bool {
 		e := &t.entries[base+i]
 		if e.valid && e.asid == asid && e.vpage == vpage {
 			e.ppage ^= 1 << bit
+			e.corrupt = true
 			return true
 		}
 	}
 	return false
+}
+
+// Flush invalidates every entry — the software TLB shootdown a
+// machine-check handler performs after an unrecoverable translation
+// fault. No demap notifications fire: the page tables did not change,
+// so PAB contents remain coherent.
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+		t.entries[i].corrupt = false
+	}
 }
 
 // Entries returns the number of TLB entries.

@@ -1,0 +1,181 @@
+package relia
+
+import (
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// maxEvents bounds the per-trial event buffer; trials are short slices
+// with a handful of faults, so the cap exists only to keep a
+// pathological configuration from hoarding memory.
+const maxEvents = 8192
+
+// resultWindow bounds how far after a result-flip injection a
+// fingerprint mismatch may be attributed to it. A pending flip lands
+// on the very next executed instruction and is checked within the
+// instruction window plus the fingerprint network round trip, so a
+// generous bound keeps attribution tight without ever cutting off a
+// genuine detection.
+const resultWindow = 50_000
+
+// Classifier buffers the chip's fault events during a trial and
+// attributes them to the injector's recorded injections afterwards.
+type Classifier struct {
+	chip    *core.Chip
+	events  []core.FaultEvent
+	claimed []bool
+}
+
+// Attach installs a classifier as the chip's fault observer.
+func Attach(chip *core.Chip) *Classifier {
+	cls := &Classifier{chip: chip}
+	chip.SetFaultObserver(cls.observe)
+	return cls
+}
+
+func (cls *Classifier) observe(ev core.FaultEvent) {
+	if len(cls.events) < maxEvents {
+		cls.events = append(cls.events, ev)
+	}
+}
+
+// claim finds the first unclaimed event matching pred at or after
+// cycle from (and before from+window when window > 0), claims it, and
+// returns it.
+func (cls *Classifier) claim(from sim.Cycle, window sim.Cycle, pred func(core.FaultEvent) bool) (core.FaultEvent, bool) {
+	if cls.claimed == nil {
+		cls.claimed = make([]bool, maxEvents)
+	}
+	for i, ev := range cls.events {
+		if cls.claimed[i] || ev.Cycle < from {
+			continue
+		}
+		if window > 0 && ev.Cycle >= from+window {
+			continue
+		}
+		if pred(ev) {
+			cls.claimed[i] = true
+			return ev, true
+		}
+	}
+	return core.FaultEvent{}, false
+}
+
+// Classify attributes the buffered events to the ordered injection log
+// and returns one classified record per successful injection. Missed
+// injection attempts (no viable target) carry no record; callers count
+// them from the injector directly.
+func (cls *Classifier) Classify(log []fault.Injection, cfg *sim.Config) []Record {
+	var out []Record
+	for _, in := range log {
+		if !in.Hit {
+			continue
+		}
+		rec := Record{Kind: in.Kind, Core: in.Core, Cycle: in.Cycle}
+		switch in.Kind {
+		case fault.ResultFlip:
+			cls.classifyResult(&rec, in)
+		case fault.TLBFlip:
+			cls.classifyTLB(&rec, in, cfg)
+		case fault.PrivRegFlip:
+			cls.classifyPrivReg(&rec, in)
+		}
+		switch rec.Outcome {
+		case OutcomeDetectedCorrected:
+			rec.Recovery = float64(cfg.RecoveryPenalty)
+		case OutcomeDUE:
+			rec.Recovery = float64(cfg.MachineCheckPenalty)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func samePair(a, b int) bool { return a/2 == b/2 }
+
+// classifyResult: in DMR the corrupted fingerprint mismatches at the
+// Check stage (detected-corrected); unprotected, the corruption lands
+// silently (SDC); a flip that never reached an execution (core went
+// idle) vanished (masked).
+func (cls *Classifier) classifyResult(rec *Record, in fault.Injection) {
+	if ev, ok := cls.claim(in.Cycle, resultWindow, func(ev core.FaultEvent) bool {
+		return ev.Kind == core.EvMismatch && samePair(ev.Core, in.Core)
+	}); ok {
+		rec.Outcome = OutcomeDetectedCorrected
+		rec.Detected, rec.DetectLat = true, ev.Cycle-in.Cycle
+		return
+	}
+	if ev, ok := cls.claim(in.Cycle, 0, func(ev core.FaultEvent) bool {
+		return ev.Kind == core.EvSilentResult && ev.Core == in.Core
+	}); ok {
+		rec.Outcome = OutcomeSDC
+		rec.DetectLat = ev.Cycle - in.Cycle
+		return
+	}
+	rec.Outcome = OutcomeMasked
+}
+
+// classifyTLB: a corrupted translation consumed by a performance-mode
+// store is denied by the PAB (prevented); consumed under DMR it
+// diverges the address-bearing fingerprints — once transiently
+// (detected-corrected, the entry was refilled or evicted) or
+// persistently until the machine check (detected-unrecoverable);
+// consumed with the PAB disabled or absent it corrupts silently; never
+// consumed, it vanished.
+func (cls *Classifier) classifyTLB(rec *Record, in fault.Injection, cfg *sim.Config) {
+	if ev, ok := cls.claim(in.Cycle, 0, func(ev core.FaultEvent) bool {
+		return ev.Kind == core.EvPABException && ev.Core == in.Core
+	}); ok {
+		rec.Outcome = OutcomePrevented
+		rec.Detected, rec.DetectLat = true, ev.Cycle-in.Cycle
+		return
+	}
+	if ev, ok := cls.claim(in.Cycle, 0, func(ev core.FaultEvent) bool {
+		return ev.Kind == core.EvUnrecoverable && samePair(ev.Core, in.Core)
+	}); ok {
+		// Consume the mismatch burst that escalated to the check, so it
+		// cannot be misattributed to a later injection on the pair.
+		for {
+			if _, more := cls.claim(in.Cycle, 0, func(e2 core.FaultEvent) bool {
+				return e2.Kind == core.EvMismatch && samePair(e2.Core, in.Core) && e2.Cycle <= ev.Cycle
+			}); !more {
+				break
+			}
+		}
+		rec.Outcome = OutcomeDUE
+		rec.Detected, rec.DetectLat = true, ev.Cycle-in.Cycle
+		return
+	}
+	if ev, ok := cls.claim(in.Cycle, 0, func(ev core.FaultEvent) bool {
+		return ev.Kind == core.EvMismatch && samePair(ev.Core, in.Core)
+	}); ok {
+		rec.Outcome = OutcomeDetectedCorrected
+		rec.Detected, rec.DetectLat = true, ev.Cycle-in.Cycle
+		return
+	}
+	if ev, ok := cls.claim(in.Cycle, 0, func(ev core.FaultEvent) bool {
+		return (ev.Kind == core.EvWouldCorrupt || ev.Kind == core.EvCorruptUse) && ev.Core == in.Core
+	}); ok {
+		rec.Outcome = OutcomeSDC
+		rec.DetectLat = ev.Cycle - in.Cycle
+		return
+	}
+	rec.Outcome = OutcomeMasked
+}
+
+// classifyPrivReg: the redundant-copy verification at the next
+// Enter-DMR catches the divergence (verify-caught); a VCPU that never
+// re-enters DMR within the horizon carries latent corrupted privileged
+// state — silent data corruption, the exposure a pure performance-mode
+// VCPU accepts.
+func (cls *Classifier) classifyPrivReg(rec *Record, in fault.Injection) {
+	if ev, ok := cls.claim(in.Cycle, 0, func(ev core.FaultEvent) bool {
+		return ev.Kind == core.EvVerifyFailure && ev.VCPU == in.VCPU
+	}); ok {
+		rec.Outcome = OutcomeVerifyCaught
+		rec.Detected, rec.DetectLat = true, ev.Cycle-in.Cycle
+		return
+	}
+	rec.Outcome = OutcomeSDC
+}

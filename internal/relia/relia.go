@@ -1,0 +1,109 @@
+// Package relia is the Monte Carlo reliability-evaluation engine: it
+// runs many short fault-injection trials per configuration, classifies
+// every injected fault into a canonical outcome taxonomy by attributing
+// the chip's protection-mechanism events (fingerprint mismatches, PAB
+// exceptions, Enter-DMR verification catches, machine checks, silent
+// corruption) back to individual injections, and aggregates trials
+// into coverage rates with Wilson confidence intervals, detection
+// latency distributions and MTTF/FIT rollups.
+//
+// The paper's argument is a reliability-vs-performance trade: PAB
+// coverage in performance mode versus Reunion DMR coverage in reliable
+// mode. This package turns that argument into measurements: a DMR-mode
+// result flip must be detected and corrected with coverage
+// statistically indistinguishable from 100%, a performance-mode TLB
+// flip must be stopped by the PAB before it corrupts reliable memory,
+// and a performance-mode result flip surfaces as silent data
+// corruption — the exposure the performance domain accepted.
+//
+// Everything here is deterministic: trial seeds derive from the batch
+// seed via sim.DeriveSeed, events fire synchronously on the simulation
+// goroutine, and aggregation iterates in sorted order, so reports are
+// byte-identical across reruns and worker-pool parallelism.
+package relia
+
+import (
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// Outcome is the canonical fate of one injected fault.
+type Outcome uint8
+
+const (
+	// OutcomeDetectedCorrected: Reunion's fingerprint comparison caught
+	// the divergence and squash-and-re-execute recovered.
+	OutcomeDetectedCorrected Outcome = iota
+	// OutcomePrevented: the PAB denied the corrupted store before it
+	// reached the L2 — the corruption never became architecturally
+	// visible.
+	OutcomePrevented
+	// OutcomeVerifyCaught: the mute's redundant privileged-register
+	// copy exposed the corruption at Enter-DMR verification and the
+	// state was restored from the copy.
+	OutcomeVerifyCaught
+	// OutcomeDUE: detected but unrecoverable — a persistent divergence
+	// escalated to a machine check (detected-unrecoverable error).
+	OutcomeDUE
+	// OutcomeSDC: silent data corruption — the fault became
+	// architecturally visible with no mechanism observing it.
+	OutcomeSDC
+	// OutcomeMasked: the fault vanished without ever being consumed
+	// (core idle, corrupted entry evicted or flushed unused).
+	OutcomeMasked
+)
+
+// AllOutcomes lists the taxonomy in canonical order.
+func AllOutcomes() []Outcome {
+	return []Outcome{
+		OutcomeDetectedCorrected, OutcomePrevented, OutcomeVerifyCaught,
+		OutcomeDUE, OutcomeSDC, OutcomeMasked,
+	}
+}
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeDetectedCorrected:
+		return "detected-corrected"
+	case OutcomePrevented:
+		return "prevented"
+	case OutcomeVerifyCaught:
+		return "verify-caught"
+	case OutcomeDUE:
+		return "detected-unrecoverable"
+	case OutcomeSDC:
+		return "sdc"
+	case OutcomeMasked:
+		return "masked"
+	default:
+		return "?"
+	}
+}
+
+// Covered reports whether the outcome counts toward coverage: the
+// fault was detected or stopped before silent corruption. Masked
+// faults are excluded from the coverage denominator entirely.
+func (o Outcome) Covered() bool {
+	switch o {
+	case OutcomeDetectedCorrected, OutcomePrevented, OutcomeVerifyCaught, OutcomeDUE:
+		return true
+	default:
+		return false
+	}
+}
+
+// Record is one classified fault.
+type Record struct {
+	Kind    fault.Kind
+	Core    int
+	Cycle   sim.Cycle
+	Outcome Outcome
+	// Detected reports whether a detection event was attributed; when
+	// true, DetectLat is the cycles from injection to that event.
+	Detected  bool
+	DetectLat sim.Cycle
+	// Recovery is the recovery cost in cycles charged by the outcome's
+	// mechanism (squash penalty, machine-check latency, ...).
+	Recovery float64
+}

@@ -1,0 +1,286 @@
+package relia
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func wl(t testing.TB, name string) *workload.Params {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// outcomeCounts tallies a batch's outcomes for one kind.
+func outcomes(b *core.ReliaBatch, kind fault.Kind) map[Outcome]uint64 {
+	m := make(map[Outcome]uint64)
+	for _, o := range AllOutcomes() {
+		if n := b.Outcomes[kind.String()+"/"+o.String()]; n > 0 {
+			m[o] = n
+		}
+	}
+	return m
+}
+
+func TestOutcomeTaxonomy(t *testing.T) {
+	for _, o := range AllOutcomes() {
+		if o.String() == "?" {
+			t.Fatalf("outcome %d unnamed", o)
+		}
+	}
+	if !OutcomePrevented.Covered() || OutcomeSDC.Covered() || OutcomeMasked.Covered() {
+		t.Fatal("coverage classification wrong")
+	}
+}
+
+// TestDMRResultCoverage is the paper's core reliability claim: result
+// corruption under DMR is detected by the fingerprint comparison and
+// corrected by squash-and-re-execute — coverage statistically
+// indistinguishable from 100%.
+func TestDMRResultCoverage(t *testing.T) {
+	batch, err := RunBatch(BatchSpec{
+		Trials: 4,
+		Trial: TrialSpec{
+			Kind: core.KindReunion, Workload: wl(t, "apache"), Seed: 11,
+			Kinds: []fault.Kind{fault.ResultFlip}, MeanInterval: 15_000,
+			Warmup: 20_000, Measure: 60_000,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := outcomes(&batch, fault.ResultFlip)
+	if oc[OutcomeSDC] != 0 || oc[OutcomeDUE] != 0 {
+		t.Fatalf("DMR let result corruption escape: %v", oc)
+	}
+	if oc[OutcomeDetectedCorrected] == 0 {
+		t.Fatalf("no detections: %v", oc)
+	}
+	covered, exposed := Coverage(&batch, "result-flip")
+	if covered != exposed || exposed == 0 {
+		t.Fatalf("coverage %d/%d", covered, exposed)
+	}
+	if _, hi := stats.Wilson(covered, exposed); hi != 1 {
+		t.Fatalf("Wilson upper bound %v excludes 100%%", hi)
+	}
+	if len(batch.DetectLat["result-flip"]) != int(oc[OutcomeDetectedCorrected]) {
+		t.Fatalf("latency samples %d != detections %d",
+			len(batch.DetectLat["result-flip"]), oc[OutcomeDetectedCorrected])
+	}
+	for _, lat := range batch.DetectLat["result-flip"] {
+		if lat < 0 || lat > 50_000 {
+			t.Fatalf("implausible detection latency %v", lat)
+		}
+	}
+}
+
+// TestPerformanceModeOutcomes: with every VCPU in performance mode and
+// the PAB guarding stores, result flips surface as SDC (nothing checks
+// them), TLB flips that threaten non-performance memory are prevented
+// by the PAB, and privileged-register flips stay latent (SDC) — the
+// exposure the performance domain accepted.
+func TestPerformanceModeOutcomes(t *testing.T) {
+	run := func(k fault.Kind) *core.ReliaBatch {
+		batch, err := RunBatch(BatchSpec{
+			Trials: 4,
+			Trial: TrialSpec{
+				Kind: core.KindNoDMR2X, Workload: wl(t, "apache"), Seed: 11,
+				Kinds: []fault.Kind{k}, MeanInterval: 15_000,
+				Warmup: 20_000, Measure: 60_000, ForcePAB: true,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &batch
+	}
+	oc := outcomes(run(fault.ResultFlip), fault.ResultFlip)
+	if oc[OutcomeSDC] == 0 {
+		t.Fatalf("performance-mode result flips did not surface as SDC: %v", oc)
+	}
+	if oc[OutcomeDetectedCorrected] != 0 || oc[OutcomePrevented] != 0 {
+		t.Fatalf("phantom detection in unprotected mode: %v", oc)
+	}
+	oc = outcomes(run(fault.TLBFlip), fault.TLBFlip)
+	if oc[OutcomePrevented] == 0 {
+		t.Fatalf("PAB never prevented a TLB-flip store: %v", oc)
+	}
+	oc = outcomes(run(fault.PrivRegFlip), fault.PrivRegFlip)
+	if oc[OutcomeVerifyCaught] != 0 || oc[OutcomeSDC] == 0 {
+		t.Fatalf("privreg flips in pure performance mode should stay latent SDC: %v", oc)
+	}
+}
+
+// TestPrivRegVerifyCaught: in the single-OS system every trap enters
+// DMR, and the mute's redundant privileged copy exposes a flip
+// injected during the preceding user phase.
+func TestPrivRegVerifyCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long warmup; covered by the full suite")
+	}
+	batch, err := RunBatch(BatchSpec{
+		Trials: 2,
+		Trial: TrialSpec{
+			Kind: core.KindSingleOS, Workload: wl(t, "apache"), Seed: 2,
+			Kinds: []fault.Kind{fault.PrivRegFlip}, MeanInterval: 15_000,
+			Warmup: 200_000, Measure: 300_000,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := outcomes(&batch, fault.PrivRegFlip)
+	if oc[OutcomeVerifyCaught] == 0 {
+		t.Fatalf("Enter-DMR verification never caught a privreg flip: %v", oc)
+	}
+}
+
+// TestDMRTLBFlipEscalates: a corrupted translation under DMR diverges
+// the address-bearing fingerprints persistently; squash-and-retry
+// cannot clear it, so the pair machine-checks (detected-unrecoverable)
+// and — crucially — the trial keeps making progress afterwards.
+func TestDMRTLBFlipEscalates(t *testing.T) {
+	batch, err := RunBatch(BatchSpec{
+		Trials: 4,
+		Trial: TrialSpec{
+			Kind: core.KindReunion, Workload: wl(t, "apache"), Seed: 11,
+			Kinds: []fault.Kind{fault.TLBFlip}, MeanInterval: 15_000,
+			Warmup: 20_000, Measure: 60_000,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := outcomes(&batch, fault.TLBFlip)
+	if oc[OutcomeDUE] == 0 {
+		t.Fatalf("no detected-unrecoverable outcomes: %v", oc)
+	}
+	if oc[OutcomeSDC] != 0 {
+		t.Fatalf("TLB corruption escaped DMR silently: %v", oc)
+	}
+	if batch.Recovery[OutcomeDUE.String()] == 0 {
+		t.Fatal("machine checks charged no recovery cycles")
+	}
+}
+
+// TestBatchDeterminism: the same batch spec must reproduce the exact
+// same outcome tallies, latencies, log digest and report rows.
+func TestBatchDeterminism(t *testing.T) {
+	spec := BatchSpec{
+		Trials: 3,
+		Trial: TrialSpec{
+			Kind: core.KindMMMIPC, Workload: wl(t, "apache"), Seed: 23,
+			MeanInterval: 12_000,
+			Warmup:       20_000, Measure: 50_000, Timeslice: 16_000,
+		},
+	}
+	a, err := RunBatch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBatch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LogDigest == "" || a.LogDigest != b.LogDigest {
+		t.Fatalf("log digests differ: %s vs %s", a.LogDigest, b.LogDigest)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("batches differ:\n%+v\nvs\n%+v", a, b)
+	}
+	rowsA := Rows("cell", &a, DefaultRates())
+	rowsB := Rows("cell", &b, DefaultRates())
+	var bufA, bufB bytes.Buffer
+	if err := stats.WriteRowsJSON(&bufA, rowsA); err != nil {
+		t.Fatal(err)
+	}
+	if err := stats.WriteRowsJSON(&bufB, rowsB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("report rows not byte-identical")
+	}
+}
+
+// TestRowsShape: the emitted rows carry Wilson bounds in Min/Max and a
+// coherent MTTF/FIT rollup for a synthetic batch.
+func TestRowsShape(t *testing.T) {
+	b := &core.ReliaBatch{
+		Trials:   2,
+		Injected: map[string]uint64{"result-flip": 10},
+		Outcomes: map[string]uint64{
+			"result-flip/detected-corrected": 7,
+			"result-flip/sdc":                2,
+			"result-flip/masked":             1,
+		},
+		DetectLat: map[string][]float64{"result-flip": {10, 20, 30, 40, 50, 60, 70}},
+	}
+	rows := Rows("cell", b, RateModel{"result-flip": 1000})
+	byMetric := map[string]stats.Row{}
+	for _, r := range rows {
+		byMetric[r.Metric] = r
+	}
+	cov := byMetric["relia:coverage:result-flip"]
+	if cov.N != 9 {
+		t.Fatalf("coverage over %d faults, want 9 exposed (masked excluded)", cov.N)
+	}
+	lo, hi := stats.Wilson(7, 9)
+	if cov.Min != lo || cov.Max != hi {
+		t.Fatalf("coverage bounds [%v,%v], want Wilson [%v,%v]", cov.Min, cov.Max, lo, hi)
+	}
+	if got := byMetric["relia:detect_lat_p50:result-flip"].Mean; got != 40 {
+		t.Fatalf("p50 = %v, want 40", got)
+	}
+	// FIT: raw 1000 derated by P(SDC|fault) = 2/10.
+	if got := byMetric["relia:fit_sdc"].Mean; got != 200 {
+		t.Fatalf("fit_sdc = %v, want 200", got)
+	}
+	if got := byMetric["relia:mttf_h"].Mean; got != 1e9/200 {
+		t.Fatalf("mttf_h = %v, want %v", got, 1e9/200)
+	}
+}
+
+func TestTrialWindowsClamp(t *testing.T) {
+	w, m, s := TrialWindows(400_000, 900_000, 6)
+	if w != 40_000 || m != 150_000 || s != 50_000 {
+		t.Fatalf("default-scale windows = %d/%d/%d", w, m, s)
+	}
+	w, m, s = TrialWindows(0, 0, 0)
+	if w < 10_000 || m < 30_000 || s < 15_000 {
+		t.Fatalf("zero-scale windows not clamped: %d/%d/%d", w, m, s)
+	}
+}
+
+func TestMergeBatches(t *testing.T) {
+	a := &core.ReliaBatch{
+		Trials:    1,
+		Injected:  map[string]uint64{"tlb-flip": 2},
+		Outcomes:  map[string]uint64{"tlb-flip/prevented": 2},
+		DetectLat: map[string][]float64{"tlb-flip": {30, 10}},
+	}
+	b := &core.ReliaBatch{
+		Trials:    1,
+		Injected:  map[string]uint64{"tlb-flip": 1},
+		Outcomes:  map[string]uint64{"tlb-flip/sdc": 1},
+		DetectLat: map[string][]float64{"tlb-flip": {20}},
+	}
+	m := MergeBatches([]*core.ReliaBatch{a, nil, b})
+	if m.Trials != 2 || m.Injected["tlb-flip"] != 3 {
+		t.Fatalf("merge wrong: %+v", m)
+	}
+	if got := m.DetectLat["tlb-flip"]; !reflect.DeepEqual(got, []float64{10, 20, 30}) {
+		t.Fatalf("merged latencies not sorted: %v", got)
+	}
+	if MergeBatches([]*core.ReliaBatch{nil, nil}) != nil {
+		t.Fatal("all-nil merge should be nil")
+	}
+}

@@ -1,0 +1,179 @@
+package relia
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// RateModel maps a fault kind name to its raw fault rate in FIT
+// (faults per 10^9 device-hours) before architectural masking or
+// protection. The MTTF/FIT rollup multiplies each kind's raw rate by
+// the measured probability that one such fault ends as SDC (or DUE).
+type RateModel map[string]float64
+
+// DefaultRates is an illustrative raw-rate budget in FIT per structure
+// class, in the proportions the soft-error literature attributes to
+// combinational logic / latches (result flips), SRAM arrays without
+// ECC (TLB entries) and small register files. Callers with real
+// technology data substitute their own model; every reporting function
+// accepts one.
+func DefaultRates() RateModel {
+	return RateModel{
+		"result-flip":  2000,
+		"tlb-flip":     1000,
+		"privreg-flip": 200,
+	}
+}
+
+// Coverage returns a kind's covered and exposed fault counts in a
+// batch: exposed faults are the injected faults that did not vanish
+// (masked), covered are those detected or prevented before silent
+// corruption. Kind "" aggregates every kind.
+func Coverage(b *core.ReliaBatch, kind string) (covered, exposed uint64) {
+	for _, o := range AllOutcomes() {
+		for k := range b.Injected {
+			if kind != "" && k != kind {
+				continue
+			}
+			n := b.Outcomes[k+"/"+o.String()]
+			if o == OutcomeMasked {
+				continue
+			}
+			exposed += n
+			if o.Covered() {
+				covered += n
+			}
+		}
+	}
+	return covered, exposed
+}
+
+// FIT computes the batch's silent-corruption and
+// detected-unrecoverable failure rates in FIT under the rate model:
+// each kind's raw rate derated by the measured per-fault outcome
+// probability (faults that were masked or covered do not fail). Kinds
+// with no injected faults contribute nothing — no observation, no
+// claim.
+func FIT(b *core.ReliaBatch, rates RateModel) (sdcFIT, dueFIT float64) {
+	kinds := make([]string, 0, len(b.Injected))
+	for k := range b.Injected {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		inj := b.Injected[k]
+		if inj == 0 {
+			continue
+		}
+		raw := rates[k]
+		sdcFIT += raw * float64(b.Outcomes[k+"/"+OutcomeSDC.String()]) / float64(inj)
+		dueFIT += raw * float64(b.Outcomes[k+"/"+OutcomeDUE.String()]) / float64(inj)
+	}
+	return sdcFIT, dueFIT
+}
+
+// MTTFHours converts a FIT rate to mean time to failure in hours;
+// a zero rate reports zero (no failures observed — callers render it
+// as "no observed failures", not as an MTTF of zero).
+func MTTFHours(fit float64) float64 {
+	if fit <= 0 {
+		return 0
+	}
+	return 1e9 / fit
+}
+
+// Rows renders one aggregation key's merged batch into deterministic
+// stats rows: per-kind coverage and SDC proportions with 95% Wilson
+// intervals (the interval bounds ride in the Min/Max columns),
+// per-kind/outcome counts, detection-latency percentiles, recovery
+// cost totals and the MTTF/FIT rollup under the rate model.
+func Rows(key string, b *core.ReliaBatch, rates RateModel) []stats.Row {
+	var rows []stats.Row
+	kinds := make([]string, 0, len(b.Injected))
+	for k := range b.Injected {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+
+	prop := func(metric string, num, den uint64) stats.Row {
+		lo, hi := stats.Wilson(num, den)
+		mean := 0.0
+		if den > 0 {
+			mean = float64(num) / float64(den)
+		}
+		return stats.Row{
+			Key: key, Metric: metric, N: int(den),
+			Mean: mean, CI95: (hi - lo) / 2, Min: lo, Max: hi,
+		}
+	}
+
+	for _, k := range kinds {
+		covered, exposed := Coverage(b, k)
+		rows = append(rows, prop("relia:coverage:"+k, covered, exposed))
+		rows = append(rows, prop("relia:sdc:"+k, exposed-covered, exposed))
+		for _, o := range AllOutcomes() {
+			n := b.Outcomes[k+"/"+o.String()]
+			rows = append(rows, stats.Row{
+				Key: key, Metric: "relia:outcome:" + k + "/" + o.String(),
+				N: b.Trials, Mean: float64(n), Min: float64(n), Max: float64(n),
+			})
+		}
+		if lat := b.DetectLat[k]; len(lat) > 0 {
+			for _, p := range []struct {
+				name string
+				pct  float64
+			}{{"p50", 50}, {"p95", 95}, {"p99", 99}} {
+				v := stats.PercentileSorted(lat, p.pct)
+				rows = append(rows, stats.Row{
+					Key: key, Metric: "relia:detect_lat_" + p.name + ":" + k,
+					N: len(lat), Mean: v, Min: lat[0], Max: lat[len(lat)-1],
+				})
+			}
+		}
+	}
+
+	outs := make([]string, 0, len(b.Recovery))
+	for o := range b.Recovery {
+		outs = append(outs, o)
+	}
+	sort.Strings(outs)
+	for _, o := range outs {
+		rows = append(rows, stats.Row{
+			Key: key, Metric: "relia:recovery_cycles:" + o,
+			N: b.Trials, Mean: b.Recovery[o], Min: b.Recovery[o], Max: b.Recovery[o],
+		})
+	}
+
+	sdcFIT, dueFIT := FIT(b, rates)
+	total := int(TotalInjected(b))
+	rows = append(rows,
+		stats.Row{Key: key, Metric: "relia:fit_sdc", N: total, Mean: sdcFIT, Min: sdcFIT, Max: sdcFIT},
+		stats.Row{Key: key, Metric: "relia:fit_due", N: total, Mean: dueFIT, Min: dueFIT, Max: dueFIT},
+		stats.Row{Key: key, Metric: "relia:mttf_h", N: total, Mean: MTTFHours(sdcFIT), Min: MTTFHours(sdcFIT), Max: MTTFHours(sdcFIT)},
+	)
+	return rows
+}
+
+// MergeBatches folds several batches (the seed axis of one sweep cell)
+// into one, with latency samples re-sorted so percentile reporting is
+// order-independent.
+func MergeBatches(batches []*core.ReliaBatch) *core.ReliaBatch {
+	var merged *core.ReliaBatch
+	for _, b := range batches {
+		if b == nil {
+			continue
+		}
+		if merged == nil {
+			merged = &core.ReliaBatch{}
+		}
+		merged.Merge(b)
+	}
+	if merged != nil {
+		for k := range merged.DetectLat {
+			sort.Float64s(merged.DetectLat[k])
+		}
+	}
+	return merged
+}

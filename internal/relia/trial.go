@@ -1,0 +1,194 @@
+package relia
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TrialSpec fully describes one Monte Carlo trial: a short derived-seed
+// simulation slice with faults injected after a fault-free warmup.
+type TrialSpec struct {
+	Kind     core.Kind
+	Workload *workload.Params
+	Seed     uint64
+
+	// Config, when non-nil, is the chip configuration the trials run
+	// under (design knobs like the serial PAB lookup or TSO arrive
+	// here); nil uses the paper's default. The spec's own Timeslice
+	// still takes precedence, and the caller's value is never mutated.
+	Config *sim.Config
+
+	// Kinds restricts the injected manifestations (empty = all);
+	// Cores restricts the victim cores (empty = all).
+	Kinds []fault.Kind
+	Cores []int
+	// MeanInterval is the mean cycles between faults; MaxFaults, when
+	// positive, bounds the trial to that many injections.
+	MeanInterval float64
+	MaxFaults    int
+
+	Warmup    sim.Cycle
+	Measure   sim.Cycle
+	Timeslice sim.Cycle
+
+	ForcePAB    bool
+	PABDisabled bool
+}
+
+// TrialResult is one trial's classified faults plus its raw log.
+type TrialResult struct {
+	Records []Record
+	Misses  uint64
+	Log     []fault.Injection
+}
+
+// RunTrial builds the system, warms it up fault-free, then injects and
+// classifies faults over the measurement slice.
+func RunTrial(spec TrialSpec) (TrialResult, error) {
+	if spec.MeanInterval <= 0 {
+		return TrialResult{}, fmt.Errorf("relia: trial needs a positive MeanInterval")
+	}
+	cfg := sim.DefaultConfig()
+	if spec.Config != nil {
+		cp := *spec.Config
+		cfg = &cp
+	}
+	if spec.Timeslice > 0 {
+		cfg.TimesliceCycles = spec.Timeslice
+	}
+	chip, err := core.NewSystem(core.Options{
+		Cfg:         cfg,
+		Kind:        spec.Kind,
+		Workload:    spec.Workload,
+		Seed:        spec.Seed,
+		ForcePAB:    spec.ForcePAB,
+		PABDisabled: spec.PABDisabled,
+	})
+	if err != nil {
+		return TrialResult{}, err
+	}
+	chip.Run(spec.Warmup)
+
+	cls := Attach(chip)
+	inj := fault.NewInjector(fault.Plan{
+		MeanInterval: spec.MeanInterval,
+		Kinds:        spec.Kinds,
+		Cores:        spec.Cores,
+		MaxFaults:    spec.MaxFaults,
+		Seed:         spec.Seed ^ 0x51a17,
+	})
+	inj.Rebase(chip.Now)
+	chip.Injector = inj
+	chip.Run(spec.Measure)
+
+	return TrialResult{
+		Records: cls.Classify(inj.Log, cfg),
+		Misses:  inj.Misses,
+		Log:     inj.Log,
+	}, nil
+}
+
+// BatchSpec is a batch of independent trials of one configuration.
+// Trial.Seed is the batch base seed; each trial derives its own.
+type BatchSpec struct {
+	Trials int
+	Trial  TrialSpec
+}
+
+// TrialWindows derives the per-trial simulation windows from a
+// campaign scale: the warmup shrinks (protection behavior stabilizes
+// long before IPC does), the measurement window divides across trials,
+// and the gang timeslice shrinks so mixed-mode trials sample both the
+// reliable guest's DMR slices and the performance guest's PAB-guarded
+// slices.
+func TrialWindows(sc, meas sim.Cycle, trials int) (warmup, measure, timeslice sim.Cycle) {
+	if trials < 1 {
+		trials = 1
+	}
+	warmup = sc / 4
+	if warmup < 10_000 {
+		warmup = 10_000
+	}
+	if warmup > 40_000 {
+		warmup = 40_000
+	}
+	measure = meas / sim.Cycle(trials)
+	if measure < 30_000 {
+		measure = 30_000
+	}
+	if measure > 150_000 {
+		measure = 150_000
+	}
+	timeslice = measure / 3
+	if timeslice < 15_000 {
+		timeslice = 15_000
+	}
+	if timeslice > 60_000 {
+		timeslice = 60_000
+	}
+	return warmup, measure, timeslice
+}
+
+// RunBatch executes the batch's trials sequentially (trials of one
+// batch share nothing, but sequential execution keeps the batch's
+// digest and aggregation order deterministic regardless of how many
+// batches run concurrently above) and folds them into a ReliaBatch.
+func RunBatch(spec BatchSpec) (core.ReliaBatch, error) {
+	if spec.Trials < 1 {
+		spec.Trials = 1
+	}
+	batch := core.ReliaBatch{
+		Trials:    spec.Trials,
+		Injected:  make(map[string]uint64),
+		Outcomes:  make(map[string]uint64),
+		DetectLat: make(map[string][]float64),
+		Recovery:  make(map[string]float64),
+	}
+	h := sha256.New()
+	for t := 0; t < spec.Trials; t++ {
+		ts := spec.Trial
+		ts.Seed = sim.DeriveSeed(spec.Trial.Seed, "relia-trial", strconv.Itoa(t))
+		res, err := RunTrial(ts)
+		if err != nil {
+			return core.ReliaBatch{}, err
+		}
+		for _, in := range res.Log {
+			fmt.Fprintf(h, "%d|%d|%s|%d|%d|%t|%d\n",
+				t, in.Seq, in.Kind, in.Core, in.Cycle, in.Hit, in.VCPU)
+		}
+		batch.Misses += res.Misses
+		for _, rec := range res.Records {
+			kind := rec.Kind.String()
+			batch.Injected[kind]++
+			batch.Outcomes[kind+"/"+rec.Outcome.String()]++
+			if rec.Detected {
+				batch.DetectLat[kind] = append(batch.DetectLat[kind], float64(rec.DetectLat))
+			}
+			if rec.Recovery > 0 {
+				batch.Recovery[rec.Outcome.String()] += rec.Recovery
+			}
+		}
+	}
+	for k := range batch.DetectLat {
+		sort.Float64s(batch.DetectLat[k])
+	}
+	batch.LogDigest = hex.EncodeToString(h.Sum(nil))
+	return batch, nil
+}
+
+// TotalInjected sums a batch's successfully injected faults.
+func TotalInjected(b *core.ReliaBatch) uint64 {
+	var n uint64
+	for _, v := range b.Injected {
+		n += v
+	}
+	return n
+}

@@ -40,10 +40,30 @@ type Pair struct {
 	vocal *cpu.Core
 	mute  *cpu.Core
 
+	// Repeated-mismatch escalation state: how many times the same
+	// sequence number has mismatched in a row. Squash-and-re-execute
+	// only recovers transient corruption; a persistent divergence (e.g.
+	// a corrupted TLB entry re-translating to the same wrong address)
+	// mismatches at the same instruction forever.
+	stuckSeq uint64
+	stuckN   int
+
 	// Stats
 	Checks     uint64
 	Mismatches uint64
+
+	// OnMismatch, when non-nil, observes every fingerprint mismatch.
+	OnMismatch func(seq uint64, now sim.Cycle)
+	// OnUnrecoverable fires when the same instruction mismatches
+	// stuckLimit times in a row — the detected-unrecoverable case. The
+	// handler (the MMM layer's machine-check path) must repair the
+	// divergence source or the pair will fire again.
+	OnUnrecoverable func(seq uint64, now sim.Cycle)
 }
+
+// stuckLimit is how many consecutive mismatches of one instruction
+// escalate from squash-and-retry to a machine check.
+const stuckLimit = 4
 
 // NewPair creates a pair gate for the given cores. The cores are not
 // reconfigured here; callers (the MMM layer) call Bind/Unbind to enter
@@ -90,6 +110,7 @@ func (p *Pair) reset() {
 			p.rings[s][i].valid = false
 		}
 	}
+	p.stuckSeq, p.stuckN = 0, 0
 }
 
 // Complete records that side finished executing seq at cycle done with
@@ -120,6 +141,14 @@ func (p *Pair) CommitReady(side int, seq uint64, now sim.Cycle) (sim.Cycle, bool
 		// commit, so their records are preserved.
 		p.Mismatches++
 		p.vocal.C.FPMismatches++
+		if seq == p.stuckSeq {
+			p.stuckN++
+		} else {
+			p.stuckSeq, p.stuckN = seq, 1
+		}
+		if p.OnMismatch != nil {
+			p.OnMismatch(seq, now)
+		}
 		for s := range p.rings {
 			for i := range p.rings[s] {
 				if p.rings[s][i].valid && p.rings[s][i].seq >= seq {
@@ -129,6 +158,10 @@ func (p *Pair) CommitReady(side int, seq uint64, now sim.Cycle) (sim.Cycle, bool
 		}
 		p.vocal.Squash(now, seq)
 		p.mute.Squash(now, seq)
+		if p.stuckN >= stuckLimit && p.OnUnrecoverable != nil {
+			p.stuckSeq, p.stuckN = 0, 0
+			p.OnUnrecoverable(seq, now)
+		}
 		return 0, false
 	}
 	// The later of the two executions sends its fingerprint; the

@@ -69,6 +69,10 @@ type Config struct {
 	FingerprintLat  Cycle // dedicated fingerprint network latency (10)
 	SerializeFPLat  Cycle // extra validation delay for serializing instructions
 	RecoveryPenalty Cycle // pipeline flush + resync after fingerprint mismatch
+	// MachineCheckPenalty is charged when squash-and-retry cannot clear
+	// a persistent fingerprint divergence and the pair escalates to a
+	// machine check (trap to system software, TLB shootdown, restart).
+	MachineCheckPenalty Cycle
 
 	// Protection Assistance Buffer
 	PABEntries   int   // 128 in the paper
@@ -129,9 +133,10 @@ func DefaultConfig() *Config {
 		TLBEntries: 1024,
 		TLBFillLat: 25,
 
-		FingerprintLat:  10,
-		SerializeFPLat:  30,
-		RecoveryPenalty: 200,
+		FingerprintLat:      10,
+		SerializeFPLat:      30,
+		RecoveryPenalty:     200,
+		MachineCheckPenalty: 2_000,
 
 		PABEntries:   128,
 		PABSerial:    false,

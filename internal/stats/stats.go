@@ -161,3 +161,48 @@ func Ratio(a, b float64) float64 {
 	}
 	return a / b
 }
+
+// Wilson returns the 95% Wilson score interval for k successes out of
+// n Bernoulli trials. Unlike the normal approximation, the interval
+// stays inside [0, 1] and remains meaningful at the proportions
+// reliability campaigns care about most — coverage near 100% and SDC
+// rates near 0% — where the Wald interval collapses to a point.
+func Wilson(k, n uint64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054 // two-tailed 95% normal quantile
+	nf := float64(n)
+	p := float64(k) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - half) / denom
+	hi = (center + half) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// PercentileSorted returns the p-th percentile (0 < p <= 100) of an
+// ascending-sorted sample using the nearest-rank definition, which is
+// exact, deterministic and free of interpolation-order ambiguity.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}

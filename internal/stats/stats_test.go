@@ -156,3 +156,44 @@ func TestTCriticalMonotone(t *testing.T) {
 		t.Fatal("large df should converge to 1.96")
 	}
 }
+
+func TestWilson(t *testing.T) {
+	// Degenerate cases.
+	lo, hi := Wilson(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("Wilson(0,0) = [%v,%v], want [0,1]", lo, hi)
+	}
+	// All successes: the upper bound must include 1 (coverage
+	// "statistically indistinguishable from 100%").
+	lo, hi = Wilson(20, 20)
+	if hi != 1 {
+		t.Fatalf("Wilson(20,20) hi = %v, want 1", hi)
+	}
+	if lo < 0.80 || lo > 0.90 {
+		t.Fatalf("Wilson(20,20) lo = %v, want ~0.84", lo)
+	}
+	// No successes mirrors all successes.
+	lo2, hi2 := Wilson(0, 20)
+	if lo2 != 0 || math.Abs((1-hi2)-lo) > 1e-12 {
+		t.Fatalf("Wilson(0,20) = [%v,%v] not mirror of all-successes", lo2, hi2)
+	}
+	// Half-half is symmetric around 0.5 and inside (0,1).
+	lo, hi = Wilson(10, 20)
+	if math.Abs((0.5-lo)-(hi-0.5)) > 1e-12 || lo <= 0 || hi >= 1 {
+		t.Fatalf("Wilson(10,20) = [%v,%v]", lo, hi)
+	}
+}
+
+func TestPercentileSorted(t *testing.T) {
+	if got := PercentileSorted(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct{ p, want float64 }{
+		{50, 5}, {95, 10}, {99, 10}, {10, 1}, {100, 10},
+	} {
+		if got := PercentileSorted(xs, tc.p); got != tc.want {
+			t.Fatalf("p%v = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}

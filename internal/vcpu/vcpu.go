@@ -118,6 +118,11 @@ type Engine struct {
 	// entering DMR — exactly the fault class Section 3.4.3 defends
 	// against.
 	VerifyFailures uint64
+
+	// OnVerifyFailure, when non-nil, observes every caught divergence
+	// with the victim VCPU's id, so reliability evaluation can
+	// attribute the catch to the injected privileged-register fault.
+	OnVerifyFailure func(vcpu int, now sim.Cycle)
 }
 
 // NewEngine creates the state-move engine.
@@ -215,6 +220,9 @@ func (e *Engine) EnterVerify(muteCore int, v *VCPU, now, vocalReady sim.Cycle) (
 	if v.HasSaved && v.SavedPriv != v.Reg.Priv {
 		corrupted = true
 		e.VerifyFailures++
+		if e.OnVerifyFailure != nil {
+			e.OnVerifyFailure(v.ID, now)
+		}
 		// Recover using the redundant copy.
 		v.Reg.Priv = v.SavedPriv
 	}
