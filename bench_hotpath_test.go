@@ -1,0 +1,89 @@
+// Hot-path benchmark: raw simulated cycles per wall-clock second of
+// Chip.Run for every evaluated system kind, independent of the
+// campaign/experiment layers. This is the repo's recorded performance
+// baseline — BENCH_hotpath.json holds the before/after numbers of each
+// optimization PR, and CI runs the suite with -benchtime=1x so it
+// cannot rot.
+//
+//	go test -run=NONE -bench=BenchmarkHotPath -benchtime=2s .
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// hotPathKinds is every evaluated system configuration, in Kind order.
+var hotPathKinds = []core.Kind{
+	core.KindNoDMR2X,
+	core.KindNoDMR,
+	core.KindReunion,
+	core.KindDMRBase,
+	core.KindMMMIPC,
+	core.KindMMMTP,
+	core.KindSingleOS,
+}
+
+// hotPathChip builds the benchmark system: the apache workload (the
+// paper's most switch-heavy server mix) at the default configuration,
+// settled past the cold-cache transient so the benchmark window
+// measures steady-state simulation speed.
+func hotPathChip(b *testing.B, kind core.Kind) *core.Chip {
+	b.Helper()
+	wl, err := workload.ByName("apache")
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip, err := core.NewSystem(core.Options{Kind: kind, Workload: wl, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip.Run(20_000)
+	return chip
+}
+
+// BenchmarkHotPath measures Chip.Run throughput per system kind in
+// simulated cycles per second (the number BENCH_hotpath.json records).
+func BenchmarkHotPath(b *testing.B) {
+	const slice = 10_000 // cycles per iteration: several gang timeslices per second
+	for _, kind := range hotPathKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			chip := hotPathChip(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				chip.Run(slice)
+			}
+			b.StopTimer()
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(b.N)*slice/secs, "cycles/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkHotPathTick measures the per-cycle reference path (Tick in a
+// loop) so the event-horizon bulk stepping of Run keeps an honest
+// comparison point.
+func BenchmarkHotPathTick(b *testing.B) {
+	const slice = 10_000
+	for _, kind := range []core.Kind{core.KindNoDMR, core.KindMMMTP} {
+		b.Run(kind.String(), func(b *testing.B) {
+			chip := hotPathChip(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for c := sim.Cycle(0); c < slice; c++ {
+					chip.Tick()
+				}
+			}
+			b.StopTimer()
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(b.N)*slice/secs, "cycles/sec")
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -22,9 +23,11 @@ type submitRequest struct {
 	// Scale is "default" or "quick"; empty means "default".
 	Scale string `json:"scale,omitempty"`
 	// Warmup/Measure/Timeslice override individual scale windows.
-	Warmup    uint64 `json:"warmup,omitempty"`
-	Measure   uint64 `json:"measure,omitempty"`
-	Timeslice uint64 `json:"timeslice,omitempty"`
+	// Pointers so that an explicit zero (e.g. a zero-warmup campaign,
+	// which the engine supports) is distinguishable from "not set".
+	Warmup    *uint64 `json:"warmup,omitempty"`
+	Measure   *uint64 `json:"measure,omitempty"`
+	Timeslice *uint64 `json:"timeslice,omitempty"`
 	// Workloads and Seeds override the sweep axes.
 	Workloads []string `json:"workloads,omitempty"`
 	Seeds     []uint64 `json:"seeds,omitempty"`
@@ -33,6 +36,7 @@ type submitRequest struct {
 // run is one submitted campaign and its execution state.
 type run struct {
 	mu       sync.Mutex
+	seq      int // submission order, for retention eviction
 	id       string
 	name     string
 	scale    campaign.Scale
@@ -77,6 +81,12 @@ func (r *run) snapshot() runStatus {
 	}
 }
 
+// defaultRetainRuns bounds how many completed (done, failed or
+// canceled) runs the server remembers. A long-lived service would
+// otherwise grow its runs map — and every completed run's result rows —
+// without bound.
+const defaultRetainRuns = 128
+
 // server executes submitted campaigns concurrently (bounded by sem) on
 // a shared result cache, so overlapping campaigns reuse each other's
 // simulations.
@@ -84,14 +94,16 @@ type server struct {
 	cache    campaign.Cache
 	counting *campaign.CountingCache // same cache, for /status counters; nil when caching is off
 	parallel int
+	retain   int // completed runs kept; older ones are evicted
 	sem      chan struct{}
 	baseCtx  context.Context
 	wg       sync.WaitGroup
 	started  time.Time
 
-	mu   sync.Mutex
-	seq  int
-	runs map[string]*run
+	mu      sync.Mutex
+	seq     int
+	runs    map[string]*run
+	evicted uint64 // completed runs dropped by the retention cap
 }
 
 // newServer builds a server. maxCampaigns bounds how many campaigns
@@ -102,6 +114,7 @@ func newServer(ctx context.Context, cache campaign.Cache, parallel, maxCampaigns
 	}
 	s := &server{
 		parallel: parallel,
+		retain:   defaultRetainRuns,
 		sem:      make(chan struct{}, maxCampaigns),
 		baseCtx:  ctx,
 		started:  time.Now(),
@@ -172,6 +185,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	s.mu.Lock()
 	s.seq++
 	r := &run{
+		seq:    s.seq,
 		id:     fmt.Sprintf("c%d", s.seq),
 		name:   body.Name,
 		scale:  sc,
@@ -199,6 +213,7 @@ func (s *server) execute(ctx context.Context, r *run, jobs []campaign.Job) {
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
 		r.finish(nil, nil, ctx.Err())
+		s.reap()
 		return
 	}
 
@@ -219,9 +234,37 @@ func (s *server) execute(ctx context.Context, r *run, jobs []campaign.Job) {
 	rs, err := eng.Run(ctx, r.scale, jobs)
 	if err != nil {
 		r.finish(nil, nil, err)
+		s.reap()
 		return
 	}
 	r.finish(rs, campaign.Summarize(rs), nil)
+	s.reap()
+}
+
+// reap enforces the completed-run retention cap: when more than retain
+// runs have reached a terminal state (done, failed, canceled), the
+// oldest are evicted from the runs map. Queued and running campaigns
+// are never touched.
+func (s *server) reap() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var terminal []*run
+	for _, r := range s.runs {
+		r.mu.Lock()
+		st := r.status
+		r.mu.Unlock()
+		if st == "done" || st == "failed" || st == "canceled" {
+			terminal = append(terminal, r)
+		}
+	}
+	if len(terminal) <= s.retain {
+		return
+	}
+	sort.Slice(terminal, func(i, j int) bool { return terminal[i].seq < terminal[j].seq })
+	for _, r := range terminal[:len(terminal)-s.retain] {
+		delete(s.runs, r.id)
+		s.evicted++
+	}
 }
 
 // finish records a campaign's terminal state.
@@ -233,7 +276,10 @@ func (r *run) finish(rs *campaign.ResultSet, rows []stats.Row, err error) {
 		r.wall = r.finished.Sub(r.started)
 	}
 	switch {
-	case err == context.Canceled:
+	case errors.Is(err, context.Canceled):
+		// errors.Is, not ==: the engine may surface a wrapped
+		// cancellation (fmt.Errorf %w, context.Cause) and a canceled
+		// run must never be reported as failed.
 		r.status = "canceled"
 	case err != nil:
 		r.status = "failed"
@@ -268,12 +314,13 @@ func (s *server) handleServiceStatus(w http.ResponseWriter, _ *http.Request) {
 		byStatus[r.status]++
 		r.mu.Unlock()
 	}
+	evicted := s.evicted
 	s.mu.Unlock()
 
 	out := map[string]any{
 		"status":    "ok",
 		"uptime_ms": time.Since(s.started).Milliseconds(),
-		"campaigns": map[string]any{"total": total, "by_status": byStatus},
+		"campaigns": map[string]any{"total": total, "by_status": byStatus, "evicted": evicted},
 	}
 	if s.counting != nil {
 		hits, misses, puts := s.counting.Stats()
@@ -349,7 +396,9 @@ func (s *server) handleCancel(w http.ResponseWriter, req *http.Request) {
 // the base context first during shutdown.
 func (s *server) drain() { s.wg.Wait() }
 
-// scaleOf resolves the request's scale preset and overrides.
+// scaleOf resolves the request's scale preset and overrides. Overrides
+// are pointers: present-but-zero is applied (a zero-warmup campaign is
+// legitimate), absent means "keep the preset".
 func scaleOf(body submitRequest) (campaign.Scale, error) {
 	var sc campaign.Scale
 	switch body.Scale {
@@ -360,14 +409,20 @@ func scaleOf(body submitRequest) (campaign.Scale, error) {
 	default:
 		return sc, fmt.Errorf("unknown scale %q (default, quick)", body.Scale)
 	}
-	if body.Warmup > 0 {
-		sc.Warmup = sim.Cycle(body.Warmup)
+	if body.Warmup != nil {
+		sc.Warmup = sim.Cycle(*body.Warmup)
 	}
-	if body.Measure > 0 {
-		sc.Measure = sim.Cycle(body.Measure)
+	if body.Measure != nil {
+		if *body.Measure == 0 {
+			return sc, fmt.Errorf("measure must be positive")
+		}
+		sc.Measure = sim.Cycle(*body.Measure)
 	}
-	if body.Timeslice > 0 {
-		sc.Timeslice = sim.Cycle(body.Timeslice)
+	if body.Timeslice != nil {
+		if *body.Timeslice == 0 {
+			return sc, fmt.Errorf("timeslice must be positive")
+		}
+		sc.Timeslice = sim.Cycle(*body.Timeslice)
 	}
 	return sc, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -226,6 +227,149 @@ func TestServiceStatusReportsCacheCounters(t *testing.T) {
 	}
 	if st.Cache == nil || st.Cache.Misses == 0 || st.Cache.Hits == 0 || st.Cache.Stores != st.Cache.Misses {
 		t.Fatalf("cache counters wrong: %s", data)
+	}
+}
+
+// TestFinishClassifiesWrappedCancellation: a cancellation that arrives
+// wrapped (fmt.Errorf %w from a future engine change, or context.Cause)
+// must land the run in "canceled", not "failed".
+func TestFinishClassifiesWrappedCancellation(t *testing.T) {
+	for _, err := range []error{
+		context.Canceled,
+		fmt.Errorf("campaign: worker pool: %w", context.Canceled),
+	} {
+		r := &run{status: "running"}
+		r.finish(nil, nil, err)
+		if r.status != "canceled" {
+			t.Errorf("finish(%v): status %q, want canceled", err, r.status)
+		}
+	}
+	r := &run{status: "running"}
+	r.finish(nil, nil, fmt.Errorf("disk full"))
+	if r.status != "failed" {
+		t.Errorf("finish(real error): status %q, want failed", r.status)
+	}
+}
+
+// TestCancelMidCampaign: cancelling a running campaign lands it in
+// "canceled" (not "failed") and its partial result set is never
+// summarized — the results endpoint keeps refusing with a conflict.
+func TestCancelMidCampaign(t *testing.T) {
+	ts := testService(t)
+	// Default scale: slow enough that the cancel lands mid-run.
+	code, data := do(t, http.MethodPost, ts.URL+"/campaigns",
+		`{"name":"figure5","workloads":["apache"],"seeds":[11,23,31]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, data)
+	}
+	var st runStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ = do(t, http.MethodPost, ts.URL+"/campaigns/"+st.ID+"/cancel", ""); code != http.StatusOK {
+		t.Fatalf("cancel: %d", code)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		_, data = do(t, http.MethodGet, ts.URL+"/campaigns/"+st.ID, "")
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Status != "queued" && st.Status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel never landed: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.Status != "canceled" {
+		t.Fatalf("status %q, want canceled (error %q)", st.Status, st.Error)
+	}
+	if code, _ := do(t, http.MethodGet, ts.URL+"/campaigns/"+st.ID+"/results", ""); code != http.StatusConflict {
+		t.Fatalf("results of canceled run: %d, want 409", code)
+	}
+}
+
+// TestZeroWarmupOverride: an explicit zero warmup must be applied (the
+// engine supports zero-warmup campaigns), while zero measure and
+// timeslice are rejected.
+func TestZeroWarmupOverride(t *testing.T) {
+	u := func(v uint64) *uint64 { return &v }
+	sc, err := scaleOf(submitRequest{Scale: "quick", Warmup: u(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Warmup != 0 {
+		t.Fatalf("explicit zero warmup ignored: %+v", sc)
+	}
+	if sc.Measure != campaign.QuickScale().Measure {
+		t.Fatalf("unset measure should keep the preset: %+v", sc)
+	}
+	if _, err := scaleOf(submitRequest{Measure: u(0)}); err == nil {
+		t.Fatal("zero measure accepted")
+	}
+	if _, err := scaleOf(submitRequest{Timeslice: u(0)}); err == nil {
+		t.Fatal("zero timeslice accepted")
+	}
+
+	// End to end: a zero-warmup submission completes.
+	ts := testService(t)
+	st := submitAndWait(t, ts, `{"name":"table2","scale":"quick",`+
+		`"warmup":0,"measure":60000,"timeslice":20000,`+
+		`"workloads":["apache"],"seeds":[11]}`)
+	if st.Status != "done" {
+		t.Fatalf("zero-warmup campaign: %+v", st)
+	}
+}
+
+// TestRetentionCapEvictsOldestCompleted: a long-lived service must not
+// grow its runs map without bound; completed runs beyond the retention
+// cap are evicted oldest-first and counted in GET /status.
+func TestRetentionCapEvictsOldestCompleted(t *testing.T) {
+	cache, err := campaign.NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(context.Background(), cache, 2, 2)
+	srv.retain = 1
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	var last runStatus
+	for i := 0; i < 3; i++ {
+		last = submitAndWait(t, ts, micro)
+		if last.Status != "done" {
+			t.Fatalf("run %d: %+v", i, last)
+		}
+	}
+
+	code, data := do(t, http.MethodGet, ts.URL+"/campaigns", "")
+	if code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	var list struct {
+		Campaigns []runStatus `json:"campaigns"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Campaigns) != 1 || list.Campaigns[0].ID != last.ID {
+		t.Fatalf("retention kept wrong runs: %s", data)
+	}
+
+	_, data = do(t, http.MethodGet, ts.URL+"/status", "")
+	var st struct {
+		Campaigns struct {
+			Total   int    `json:"total"`
+			Evicted uint64 `json:"evicted"`
+		} `json:"campaigns"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("status body: %v\n%s", err, data)
+	}
+	if st.Campaigns.Total != 1 || st.Campaigns.Evicted != 2 {
+		t.Fatalf("status after eviction: %s", data)
 	}
 }
 

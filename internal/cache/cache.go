@@ -71,6 +71,10 @@ type Cache struct {
 // NewCache builds a cache of size bytes with the given associativity
 // and line size.
 func NewCache(name string, size, ways, lineSize int) *Cache {
+	return newCache(nil, name, size, ways, lineSize)
+}
+
+func newCache(r *Recycler, name string, size, ways, lineSize int) *Cache {
 	sets := size / (ways * lineSize)
 	if sets == 0 || sets&(sets-1) != 0 {
 		panic("cache: set count must be a positive power of two: " + name)
@@ -80,8 +84,55 @@ func NewCache(name string, size, ways, lineSize int) *Cache {
 		sets:     sets,
 		ways:     ways,
 		lineSize: uint64(lineSize),
-		lines:    make([]Line, sets*ways),
+		lines:    r.get(sets * ways),
 	}
+}
+
+// Recycler recycles the line arrays of dead cache hierarchies across
+// chip constructions. Campaign workers build thousands of short-lived
+// chips, and each hierarchy carries several megabytes of line metadata;
+// reusing the arrays keeps that churn out of the garbage collector. A
+// recycled array is zeroed before reuse, so a chip built from recycled
+// arrays is indistinguishable from a freshly allocated one. A Recycler
+// is single-owner state (one per campaign worker), not safe for
+// concurrent use. The nil *Recycler is valid and always allocates.
+type Recycler struct {
+	free map[int][][]Line
+}
+
+// NewRecycler returns an empty recycler.
+func NewRecycler() *Recycler {
+	return &Recycler{free: make(map[int][][]Line)}
+}
+
+// get returns a zeroed line array of length n, recycled if available.
+func (r *Recycler) get(n int) []Line {
+	if r == nil {
+		return make([]Line, n)
+	}
+	bucket := r.free[n]
+	if len(bucket) == 0 {
+		return make([]Line, n)
+	}
+	a := bucket[len(bucket)-1]
+	r.free[n] = bucket[:len(bucket)-1]
+	clear(a)
+	return a
+}
+
+// put returns a line array to the recycler.
+func (r *Recycler) put(a []Line) {
+	if r == nil || a == nil {
+		return
+	}
+	r.free[len(a)] = append(r.free[len(a)], a)
+}
+
+// release hands the cache's line array back to the recycler; the cache
+// must not be used afterwards.
+func (c *Cache) release(r *Recycler) {
+	r.put(c.lines)
+	c.lines = nil
 }
 
 // Name returns the cache's name (for diagnostics).

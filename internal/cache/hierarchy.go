@@ -54,6 +54,7 @@ func (s Source) String() string {
 // line in the directory or any other cache.
 type Hierarchy struct {
 	cfg *sim.Config
+	rec *Recycler
 	net *interconnect.Network
 	mem *Memory
 
@@ -73,19 +74,26 @@ type Hierarchy struct {
 
 // New builds the hierarchy for the configured chip.
 func New(cfg *sim.Config) *Hierarchy {
+	return NewRecycled(cfg, nil)
+}
+
+// NewRecycled builds the hierarchy drawing its line arrays from the
+// given recycler (nil allocates fresh); Release returns them.
+func NewRecycled(cfg *sim.Config, rec *Recycler) *Hierarchy {
 	h := &Hierarchy{
 		cfg:   cfg,
+		rec:   rec,
 		net:   interconnect.NewNetwork(cfg.Cores+cfg.L3Banks+1, cfg.NetHopLat, cfg.L3PortBusy),
 		mem:   NewMemory(cfg),
-		L3:    NewCache("L3", cfg.L3Size, cfg.L3Ways, cfg.LineSize),
+		L3:    newCache(rec, "L3", cfg.L3Size, cfg.L3Ways, cfg.LineSize),
 		Dir:   NewDirectory(),
 		Ctr:   make([]stats.CacheCounters, cfg.Cores),
 		memEP: cfg.Cores + cfg.L3Banks,
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		h.L1I = append(h.L1I, NewCache("L1I", cfg.L1Size, cfg.L1Ways, cfg.LineSize))
-		h.L1D = append(h.L1D, NewCache("L1D", cfg.L1Size, cfg.L1Ways, cfg.LineSize))
-		h.L2 = append(h.L2, NewCache("L2", cfg.L2Size, cfg.L2Ways, cfg.LineSize))
+		h.L1I = append(h.L1I, newCache(rec, "L1I", cfg.L1Size, cfg.L1Ways, cfg.LineSize))
+		h.L1D = append(h.L1D, newCache(rec, "L1D", cfg.L1Size, cfg.L1Ways, cfg.LineSize))
+		h.L2 = append(h.L2, newCache(rec, "L2", cfg.L2Size, cfg.L2Ways, cfg.LineSize))
 	}
 	// Decompose the configured end-to-end L3 load-to-use latency into
 	// request hop + shadow-tag/directory lookup + array access +
@@ -100,6 +108,21 @@ func New(cfg *sim.Config) *Hierarchy {
 
 // Mem exposes the memory controller (for tests and ablations).
 func (h *Hierarchy) Mem() *Memory { return h.mem }
+
+// Release hands every line array back to the recycler the hierarchy
+// was built with (a no-op for fresh-allocating hierarchies). The
+// hierarchy — and the chip above it — must not be used afterwards.
+func (h *Hierarchy) Release() {
+	if h.rec == nil {
+		return
+	}
+	h.L3.release(h.rec)
+	for i := range h.L2 {
+		h.L1I[i].release(h.rec)
+		h.L1D[i].release(h.rec)
+		h.L2[i].release(h.rec)
+	}
+}
 
 func (h *Hierarchy) lineAddr(pa uint64) uint64 {
 	return pa &^ (uint64(h.cfg.LineSize) - 1)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/relia"
@@ -115,6 +116,12 @@ func (e *Engine) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch: each worker recycles the cache
+			// hierarchy's multi-megabyte line arrays across the chips it
+			// builds, instead of allocating ~10 MB per job for the
+			// garbage collector to chase. The recycler is confined to
+			// this goroutine, so no locking is involved.
+			scratch := cache.NewRecycler()
 			for i := range work {
 				j := jobs[i]
 				fp := j.Fingerprint(sc)
@@ -125,7 +132,7 @@ func (e *Engine) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet, err
 						continue
 					}
 				}
-				m, err := runJob(sc, j)
+				m, err := runJob(sc, j, scratch)
 				if err != nil {
 					fail(err)
 					return
@@ -166,14 +173,15 @@ feed:
 }
 
 // runJob builds and measures one simulation (or, for reliability
-// jobs, one Monte Carlo trial batch).
-func runJob(sc Scale, j Job) (core.Metrics, error) {
+// jobs, one Monte Carlo trial batch). scratch recycles chip arrays
+// across the jobs of one worker; nil is valid.
+func runJob(sc Scale, j Job, scratch *cache.Recycler) (core.Metrics, error) {
 	wl, err := workload.ByName(j.Workload)
 	if err != nil {
 		return core.Metrics{}, err
 	}
 	if j.Knobs.ReliaTrials > 0 {
-		return runReliaJob(sc, j, wl)
+		return runReliaJob(sc, j, wl, scratch)
 	}
 	cfg := sim.DefaultConfig()
 	cfg.TimesliceCycles = sc.Timeslice
@@ -184,6 +192,7 @@ func runJob(sc Scale, j Job) (core.Metrics, error) {
 		Workload:    wl,
 		Seed:        j.SimSeed(),
 		PABDisabled: j.Knobs.PABDisabled,
+		Recycler:    scratch,
 	}
 	if j.Knobs.FaultInterval > 0 {
 		opts.FaultPlan = &fault.Plan{
@@ -215,7 +224,7 @@ func parseFaultKinds(s string) []fault.Kind {
 // trial slices with faults injected at the job's rate, classified into
 // the outcome taxonomy. The batch rides in Metrics.Relia so it flows
 // through the same cache and aggregation as performance jobs.
-func runReliaJob(sc Scale, j Job, wl *workload.Params) (core.Metrics, error) {
+func runReliaJob(sc Scale, j Job, wl *workload.Params, scratch *cache.Recycler) (core.Metrics, error) {
 	warmup, measure, timeslice := relia.TrialWindows(sc.Warmup, sc.Measure, j.Knobs.ReliaTrials)
 	// Design knobs (serial PAB, TSO, flush rate) apply to reliability
 	// trials exactly as they do to performance jobs — the fingerprint
@@ -236,6 +245,7 @@ func runReliaJob(sc Scale, j Job, wl *workload.Params) (core.Metrics, error) {
 			Timeslice:    timeslice,
 			ForcePAB:     j.Knobs.ForcePAB,
 			PABDisabled:  j.Knobs.PABDisabled,
+			Recycler:     scratch,
 		},
 	})
 	if err != nil {

@@ -24,7 +24,11 @@ import (
 // v2: Reunion fingerprints cover memory access addresses, persistent
 // divergences escalate to machine checks, and reliability (Monte
 // Carlo trial batch) jobs exist.
-const SpecVersion = 2
+//
+// v3: Metrics.FaultsInjected is rebased at ResetMeasurement and now
+// counts only measurement-window injections; cached v2 metrics for
+// fault-injection cells include warmup faults and are invalid.
+const SpecVersion = 3
 
 // Scale sets the simulation windows shared by every job of a campaign.
 type Scale struct {

@@ -107,9 +107,23 @@ type Chip struct {
 	curPlan []pairPlan
 	trans   []*transition
 
+	// Hot-path scheduling state. active lists, in core-ID order, the
+	// cores that currently have an instruction stream; parked cores
+	// (NoDMR's idle half, MMM-IPC's idle redundant cores, mute cores
+	// with no work) are skipped by Tick/Run and their idle-cycle
+	// counters settled lazily from idleSince (see creditIdle).
+	active     []*cpu.Core
+	coreIdle   []bool
+	idleSince  []sim.Cycle
+	transCount int  // live entries in trans
+	transDirty bool // a transition started during the current bulk step
+
 	usePAB bool
 
 	Injector *fault.Injector
+	// faultBase is the injector's total at the last ResetMeasurement, so
+	// Collect reports only measurement-window injections.
+	faultBase uint64
 
 	// onFaultEvent observes protection-mechanism activity for
 	// reliability evaluation (see observe.go); machineChecks counts
@@ -131,14 +145,14 @@ type Chip struct {
 }
 
 // newChip builds the hardware: cores, pairs, hierarchy, protection.
-func newChip(cfg *sim.Config, kind Kind) *Chip {
+func newChip(cfg *sim.Config, kind Kind, rec *cache.Recycler) *Chip {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	c := &Chip{
 		Cfg:       cfg,
 		Kind:      kind,
-		Hier:      cache.New(cfg),
+		Hier:      cache.NewRecycled(cfg, rec),
 		PM:        paging.NewPhysMap(cfg.PhysMemBytes, cfg.PageBytes),
 		guestUser: make(map[int]uint64),
 		guestOS:   make(map[int]uint64),
@@ -159,6 +173,12 @@ func newChip(cfg *sim.Config, kind Kind) *Chip {
 	c.Eng = vcpu.NewEngine(cfg)
 	c.curPlan = make([]pairPlan, cfg.Cores/2)
 	c.trans = make([]*transition, cfg.Cores/2)
+	c.active = make([]*cpu.Core, 0, cfg.Cores)
+	c.coreIdle = make([]bool, cfg.Cores)
+	c.idleSince = make([]sim.Cycle, cfg.Cores)
+	for i := range c.coreIdle {
+		c.coreIdle[i] = true
+	}
 	c.attrGuest = make([]int, cfg.Cores)
 	c.attrUser = make([]uint64, cfg.Cores)
 	c.attrOS = make([]uint64, cfg.Cores)
@@ -169,7 +189,11 @@ func newChip(cfg *sim.Config, kind Kind) *Chip {
 	return c
 }
 
-// Tick advances the whole chip by one cycle.
+// Tick advances the whole chip by one cycle: scheduler, in-flight mode
+// transitions, fault injector, then every active core in ID order.
+// Parked cores are skipped; their idle-cycle counters are settled
+// lazily (creditIdle), so the counters a Collect observes are identical
+// to ticking every core unconditionally.
 func (c *Chip) Tick() {
 	now := c.Now
 	if c.Gang != nil {
@@ -177,24 +201,129 @@ func (c *Chip) Tick() {
 			c.startGroupSwitch(g, now)
 		}
 	}
-	for p := range c.trans {
-		if c.trans[p] != nil {
-			c.stepTransition(p, now)
+	if c.transCount > 0 {
+		for p := range c.trans {
+			if c.trans[p] != nil {
+				c.stepTransition(p, now)
+			}
 		}
 	}
 	if c.Injector != nil {
 		c.Injector.Tick(now, c)
 	}
-	for _, core := range c.Cores {
+	for _, core := range c.active {
 		core.Tick(now)
 	}
 	c.Now++
 }
 
-// Run advances the chip n cycles.
+// Run advances the chip n cycles. It is the hot path of every campaign:
+// instead of consulting the gang scheduler, the transition engine and
+// the fault injector on each of the n cycles, it asks each for its
+// event horizon (NextEventAt) and bulk-steps the active cores up to the
+// earliest one, falling back to full per-cycle Ticks only at event
+// cycles and while a pair is draining toward a mode switch. The
+// resulting simulation is cycle-for-cycle identical to n Ticks.
 func (c *Chip) Run(n sim.Cycle) {
-	for i := sim.Cycle(0); i < n; i++ {
-		c.Tick()
+	end := c.Now + n
+	for c.Now < end {
+		horizon := c.nextEventAt(end)
+		if horizon <= c.Now {
+			c.Tick()
+			continue
+		}
+		if len(c.active) == 0 {
+			// Whole-chip idle: no core touches any state before the
+			// horizon; idle counters are settled lazily.
+			c.Now = horizon
+			continue
+		}
+		c.transDirty = false
+		for c.Now < horizon {
+			now := c.Now
+			for _, core := range c.active {
+				core.Tick(now)
+			}
+			c.Now++
+			if c.transDirty {
+				// A fetch/commit hook queued a mode transition this
+				// cycle; it must start draining on the next one.
+				break
+			}
+		}
+	}
+}
+
+// nextEventAt returns the earliest cycle at which chip-level machinery
+// must run again, capped at end. While any pair is still draining
+// (transition phase 0) the horizon collapses to now, because drain
+// completion is detected by polling the pipelines.
+func (c *Chip) nextEventAt(end sim.Cycle) sim.Cycle {
+	h := end
+	if c.Gang != nil {
+		if t := c.Gang.NextEventAt(); t < h {
+			h = t
+		}
+	}
+	if c.Injector != nil {
+		if t := c.Injector.NextEventAt(); t < h {
+			h = t
+		}
+	}
+	if c.transCount > 0 {
+		for _, tr := range c.trans {
+			if tr == nil {
+				continue
+			}
+			if tr.phase == 0 {
+				return c.Now
+			}
+			if tr.doneAt < h {
+				h = tr.doneAt
+			}
+		}
+	}
+	return h
+}
+
+// refreshActive rebuilds the active-core list after a plan application
+// changed core sources, settling idle spans for cores that woke up and
+// opening spans for cores that parked.
+func (c *Chip) refreshActive() {
+	c.active = c.active[:0]
+	for i, core := range c.Cores {
+		idle := core.Idle()
+		if idle != c.coreIdle[i] {
+			if idle {
+				c.idleSince[i] = c.Now
+			} else {
+				c.creditIdle(i)
+			}
+			c.coreIdle[i] = idle
+		}
+		if !idle {
+			c.active = append(c.active, core)
+		}
+	}
+}
+
+// creditIdle settles a parked core's pending idle span: the cycles it
+// would have counted had it been ticked individually.
+func (c *Chip) creditIdle(i int) {
+	span := c.Now - c.idleSince[i]
+	cc := &c.Cores[i].C
+	cc.Cycles += span
+	cc.IdleCycles += span
+	c.idleSince[i] = c.Now
+}
+
+// syncIdle settles every parked core's pending idle span so externally
+// visible counters match per-cycle ticking.
+func (c *Chip) syncIdle() {
+	for i := range c.Cores {
+		if c.coreIdle[i] {
+			c.creditIdle(i)
+		}
 	}
 }
 
@@ -228,6 +357,9 @@ func (c *Chip) ResetMeasurement() {
 		core.C = stats.CoreCounters{}
 		c.attrUser[i] = 0
 		c.attrOS[i] = 0
+		// Parked cores restart their idle span at the window boundary;
+		// the span accumulated during warmup dies with the counters.
+		c.idleSince[i] = c.Now
 	}
 	for i := range c.Hier.Ctr {
 		c.Hier.Ctr[i] = stats.CacheCounters{}
@@ -240,13 +372,26 @@ func (c *Chip) ResetMeasurement() {
 		p.C = stats.CoreCounters{}
 		p.WouldCorrupt = 0
 	}
-	c.guestUser = make(map[int]uint64)
-	c.guestOS = make(map[int]uint64)
+	clear(c.guestUser)
+	clear(c.guestOS)
 	c.enterN, c.enterCycles = 0, 0
 	c.leaveN, c.leaveCyc = 0, 0
 	c.ctxN, c.ctxCycles = 0, 0
 	c.machineChecks = 0
 	c.Eng.VerifyFailures = 0
+	// Rebase the injector tally: warmup-window faults stay injected (the
+	// corrupted state is real), but the measured FaultsInjected metric
+	// must cover only the measurement window.
+	if c.Injector != nil {
+		c.faultBase = c.Injector.Total()
+	}
+}
+
+// Release returns the chip's recycled resources (the hierarchy's line
+// arrays) to the recycler it was built with; a no-op otherwise. The
+// chip must not be used afterwards.
+func (c *Chip) Release() {
+	c.Hier.Release()
 }
 
 // --- fault.Target ----------------------------------------------------------

@@ -97,6 +97,7 @@ func (c *Chip) Measure(warmup, measure sim.Cycle) Metrics {
 // Collect gathers metrics for the last measurement window of the given
 // length.
 func (c *Chip) Collect(window sim.Cycle) Metrics {
+	c.syncIdle()
 	for i := range c.Cores {
 		c.flushAttribution(i)
 	}
@@ -143,7 +144,9 @@ func (c *Chip) Collect(window sim.Cycle) Metrics {
 		m.CtxAvg = float64(c.ctxCycles) / float64(c.ctxN)
 	}
 	if c.Injector != nil {
-		m.FaultsInjected = c.Injector.Total()
+		// Rebased at ResetMeasurement: report only faults injected
+		// inside the measurement window, not warmup-window injections.
+		m.FaultsInjected = c.Injector.Total() - c.faultBase
 	}
 	// Switching cadence: average user (OS) cycles accumulated per trap
 	// entry (return) across cores that ran software.
@@ -156,12 +159,15 @@ func (c *Chip) Collect(window sim.Cycle) Metrics {
 	return m
 }
 
-// RunSystem builds the system described by opts and measures it.
+// RunSystem builds the system described by opts and measures it. When
+// opts carries a recycler, the chip's big arrays are handed back to it
+// before returning.
 func RunSystem(opts Options, warmup, measure sim.Cycle) (Metrics, error) {
 	chip, err := NewSystem(opts)
 	if err != nil {
 		return Metrics{}, err
 	}
 	m := chip.Measure(warmup, measure)
+	chip.Release()
 	return m, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/sched"
@@ -33,6 +34,11 @@ type Options struct {
 	ForcePAB bool
 	// FaultPlan, when non-nil, runs a fault-injection campaign.
 	FaultPlan *fault.Plan
+	// Recycler, when non-nil, supplies recycled cache line arrays to
+	// the hierarchy; callers that set it must Release the chip when
+	// done. Campaign workers use one per worker so thousands of
+	// short-lived chips reuse a handful of multi-megabyte arrays.
+	Recycler *cache.Recycler
 }
 
 // NewSystem builds a chip configured as one of the paper's evaluated
@@ -46,7 +52,7 @@ func NewSystem(opts Options) (*Chip, error) {
 	if opts.Workload == nil {
 		return nil, fmt.Errorf("core: no workload given")
 	}
-	c := newChip(cfg, opts.Kind)
+	c := newChip(cfg, opts.Kind, opts.Recycler)
 	pairs := cfg.Cores / 2
 	b := sched.NewBuilder(cfg, c.PM, 4*cfg.Cores)
 

@@ -45,6 +45,8 @@ func (c *Chip) startTransition(pi int, next pairPlan, suppressHook bool, now sim
 		kind:         kind,
 		suppressHook: suppressHook,
 	}
+	c.transCount++
+	c.transDirty = true // Run must leave bulk stepping to poll the drain
 	if old.dmr && old.vocal != nil {
 		// A redundant pair drains to an agreed stream position; see
 		// cpu.Core.HoldFetchAfter.
@@ -89,6 +91,7 @@ func (c *Chip) stepTransition(pi int, now sim.Cycle) {
 		}
 		c.applyPlan(pi, tr.next, tr.suppressHook)
 		c.trans[pi] = nil
+		c.transCount--
 	}
 }
 
@@ -264,6 +267,7 @@ func (c *Chip) applyPlan(pi int, pl pairPlan, suppressHook bool) {
 	vocal.Resume(suppressHook)
 	mute.Resume(false)
 	c.curPlan[pi] = pl
+	c.refreshActive()
 }
 
 // applyCore configures one core to run an independent VCPU (or idle).

@@ -52,7 +52,17 @@ type entry struct {
 	// prefetchDone is when the store's exclusive-ownership prefetch
 	// (issued at execute, off the critical path) completes.
 	prefetchDone sim.Cycle
+	// readyAt caches the entry's earliest issue cycle so the per-cycle
+	// issue scan is one comparison instead of a dependency-history walk:
+	// 0 when the entry has no pending producer, the producer's completion
+	// cycle once the producer has issued, or readyUnknown while the
+	// producer sits unissued in the window (re-resolved each scan).
+	readyAt sim.Cycle
 }
+
+// readyUnknown marks an entry whose producer has not issued yet, so its
+// wake-up cycle cannot be cached.
+const readyUnknown = ^sim.Cycle(0)
 
 const (
 	histSize  = 512 // completion history for dependency tracking
@@ -89,6 +99,12 @@ type Core struct {
 	lsqLoads  int
 	lsqStores int
 
+	// issueWakeAt sleeps the issue scan: set when a full scan issued
+	// nothing and every blocked entry's earliest wake-up is known, so
+	// re-scanning before that cycle is provably fruitless. Invalidated
+	// by fetch (a new entry may be instantly ready) and by squashes.
+	issueWakeAt sim.Cycle
+
 	// TSO store buffer: completion times of posted (committed but not
 	// yet drained) stores. Empty and unused under SC.
 	storeBuf []sim.Cycle
@@ -102,6 +118,14 @@ type Core struct {
 	curFetchLine uint64
 	faultFlip    uint64 // XOR applied to the next executed result (fault injection)
 	inOS         bool   // committed-phase tracking (user vs OS cycles, Table 2)
+
+	// peeked caches the head-of-stream instruction across fetch attempts
+	// so a cycle that stalls on a full load/store queue does not re-run
+	// the stream's Peek path. Invalidated when the instruction is
+	// consumed or the source changes; Peek is pure, so the cache can
+	// never go stale otherwise.
+	peeked  isa.Inst
+	hasPeek bool
 
 	// OnTrapEnter fires when a TrapEnter is about to be fetched;
 	// returning true holds fetch (a mode transition is in progress and
@@ -138,6 +162,7 @@ func (c *Core) SetSource(src Source) {
 	}
 	c.src = src
 	c.curFetchLine = ^uint64(0)
+	c.hasPeek = false
 }
 
 // SetSpace assigns the active address space.
@@ -226,6 +251,10 @@ func (c *Core) Squash(now sim.Cycle, fromSeq uint64) {
 		e.issued = false
 		e.storeIssued = false
 		e.done = 0
+		// A squashed producer re-executes with a new completion time, and
+		// every dependent of a squashed producer is itself squashed (it is
+		// younger), so dropping the cache here keeps readyAt consistent.
+		e.readyAt = readyUnknown
 	}
 	// Rebuild the pending-issue list in program order.
 	c.unissued = c.unissued[:0]
@@ -235,6 +264,7 @@ func (c *Core) Squash(now sim.Cycle, fromSeq uint64) {
 			c.unissued = append(c.unissued, idx)
 		}
 	}
+	c.issueWakeAt = 0 // re-executed entries change the scan set
 	c.BlockUntil(now + c.cfg.RecoveryPenalty)
 	c.C.Recoveries++
 }
@@ -250,6 +280,15 @@ func (c *Core) Tick(now sim.Cycle) {
 		c.C.OSCycles++
 	} else {
 		c.C.UserCycles++
+	}
+	// Fast path for a fully stalled core: the window is empty and fetch
+	// cannot proceed (held for a mode transition, or blocked on a
+	// redirect/transition latency). Nothing can commit, issue or fetch;
+	// only the stall counter advances — exactly what the full pipeline
+	// walk below would do, without the three calls.
+	if c.count == 0 && (c.fetchHold || c.fetchBlockedUntil > now) {
+		c.C.FetchStallCycles++
+		return
 	}
 	c.commit(now)
 	c.issue(now)
@@ -399,28 +438,79 @@ func (c *Core) retire(e *entry, now sim.Cycle) {
 // --- issue ---------------------------------------------------------------
 
 func (c *Core) issue(now sim.Cycle) {
-	issued := 0
-	kept := c.unissued[:0]
-	for i, idx := range c.unissued {
-		if issued >= c.cfg.IssueWidth || i >= scanDepth {
-			kept = append(kept, c.unissued[i:]...)
-			break
-		}
+	n := len(c.unissued)
+	if n == 0 {
+		return
+	}
+	if c.issueWakeAt > now {
+		// A previous scan proved nothing can issue before issueWakeAt
+		// and no fetch or squash has touched the scan set since.
+		return
+	}
+	limit := n
+	if limit > scanDepth {
+		limit = scanDepth
+	}
+	width := c.cfg.IssueWidth
+	canSleep := true
+	minWake := readyUnknown
+	issued, w, i := 0, 0, 0
+	for ; i < limit; i++ {
+		idx := c.unissued[i]
 		e := &c.win[idx]
-		if !c.ready(e, now) {
-			kept = append(kept, idx)
+		// Readiness fast path (the memoized wake-up cycle) is inlined
+		// here; readySlow resolves entries whose producer had not issued
+		// at the last look.
+		ra := e.readyAt
+		if ra > now {
+			if ra == readyUnknown && c.readySlow(e, now) {
+				goto issuable
+			}
+			// Blocked. An entry waiting on an unissued producer keeps
+			// readyAt == readyUnknown, which cannot lower minWake — and
+			// needs no wake of its own: its producer sits earlier in
+			// this same scan set, so it cannot issue before minWake
+			// either.
+			if ra = e.readyAt; ra < minWake {
+				minWake = ra
+			}
+			if w < i {
+				c.unissued[w] = idx
+			}
+			w++
 			continue
 		}
+	issuable:
 		// Serializing instructions (and trap markers) execute only
-		// from the head of a drained window.
+		// from the head of a drained window. Commits move the head
+		// independently of issue activity, so a blocked serializer
+		// forbids sleeping the scan.
 		if serializes(e.inst.Class) && idx != c.head {
-			kept = append(kept, idx)
+			canSleep = false
+			if w < i {
+				c.unissued[w] = idx
+			}
+			w++
 			continue
 		}
 		c.execute(e, now)
-		issued++
+		if issued++; issued >= width {
+			i++
+			break
+		}
 	}
-	c.unissued = kept
+	if i == w {
+		// Nothing issued: the pending list is untouched. If every
+		// blocked entry's wake-up is known, sleep the scan until the
+		// earliest one.
+		if canSleep && minWake != readyUnknown {
+			c.issueWakeAt = minWake
+		}
+		return
+	}
+	// Close the gaps left by issued entries; the tail beyond the scan
+	// depth shifts down unexamined, preserving program order.
+	c.unissued = c.unissued[:w+copy(c.unissued[w:], c.unissued[i:])]
 }
 
 // serializes reports whether a class must reach the window head before
@@ -429,15 +519,21 @@ func serializes(cl isa.Class) bool {
 	return cl == isa.Serializing || cl == isa.TrapEnter || cl == isa.TrapReturn
 }
 
-// ready checks the producer dependency of an instruction.
-func (c *Core) ready(e *entry, now sim.Cycle) bool {
+// readySlow resolves the producer dependency of an entry whose wake-up
+// cycle is still unknown, memoizing it in e.readyAt once the producer
+// has issued. The issue loop's inlined readyAt comparison answers every
+// later scan in one load, which matters because the scan re-examines up
+// to scanDepth entries on every cycle of a stall.
+func (c *Core) readySlow(e *entry, now sim.Cycle) bool {
 	if e.inst.Dep == 0 || uint64(e.inst.Dep) >= e.inst.Seq {
+		e.readyAt = 0
 		return true
 	}
 	pseq := e.inst.Seq - uint64(e.inst.Dep)
 	if c.count > 0 {
 		oldest := c.win[c.head].inst.Seq
 		if pseq < oldest {
+			e.readyAt = 0
 			return true // producer committed long ago
 		}
 	}
@@ -445,7 +541,8 @@ func (c *Core) ready(e *entry, now sim.Cycle) bool {
 	if c.histSeq[h] != pseq {
 		return false // producer in window but not yet issued
 	}
-	return c.histDone[h] <= now
+	e.readyAt = c.histDone[h]
+	return e.readyAt <= now
 }
 
 // execute models the execution of one instruction: functional units,
@@ -565,7 +662,12 @@ func (c *Core) fetch(now sim.Cycle) {
 			}
 			return
 		}
-		in := c.src.Peek()
+		in := c.peeked
+		if !c.hasPeek {
+			in = c.src.Peek()
+			c.peeked = in
+			c.hasPeek = true
+		}
 		if c.fetchBarrier != 0 && in.Seq > c.fetchBarrier {
 			// Drain barrier reached: convert to a plain hold.
 			c.fetchBarrier = 0
@@ -609,7 +711,9 @@ func (c *Core) fetch(now sim.Cycle) {
 		if in.Class == isa.TrapEnter {
 			c.suppressTrapHook = false
 		}
-		c.insert(c.src.Next(), now)
+		c.src.Next()
+		c.hasPeek = false
+		c.insert(in, now)
 	}
 }
 
@@ -636,9 +740,18 @@ func (c *Core) fetchLine(pc uint64, now sim.Cycle) sim.Cycle {
 // insert places a fetched instruction into the window.
 func (c *Core) insert(in isa.Inst, now sim.Cycle) {
 	tail := (c.head + c.count) % len(c.win)
-	c.win[tail] = entry{inst: in}
+	readyAt := readyUnknown
+	if in.Dep == 0 {
+		readyAt = 0 // no producer: issuable immediately
+	}
+	c.win[tail] = entry{inst: in, readyAt: readyAt}
 	c.count++
 	c.unissued = append(c.unissued, tail)
+	if len(c.unissued) <= scanDepth {
+		// The new entry lands inside the issue scan's examination
+		// window and may be instantly ready: cancel any scan sleep.
+		c.issueWakeAt = 0
+	}
 	switch in.Class {
 	case isa.Load:
 		c.lsqLoads++

@@ -167,6 +167,17 @@ func (inj *Injector) Done() bool {
 	return inj.plan.MaxFaults > 0 && inj.hits >= inj.plan.MaxFaults
 }
 
+// NextEventAt returns the cycle at which the next injection fires — the
+// injector's event horizon: Tick is a no-op strictly before it, so a
+// run loop may advance to it in bulk. A completed bounded campaign
+// reports sim.Never.
+func (inj *Injector) NextEventAt() sim.Cycle {
+	if inj.Done() {
+		return sim.Never
+	}
+	return inj.next
+}
+
 // Tick fires any due fault at the given cycle.
 func (inj *Injector) Tick(now sim.Cycle, t Target) {
 	for now >= inj.next {

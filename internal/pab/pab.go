@@ -64,9 +64,7 @@ func NewTable(pm *paging.PhysMap) *Table {
 		patPages = 1
 	}
 	t.base = pm.Alloc(patPages, paging.DomainSystem, -1) << t.pageShift
-	for p := uint64(0); p < pages; p++ {
-		t.set(p, pm.ReliableOnly(p))
-	}
+	t.syncBits(pm)
 	return t
 }
 
@@ -93,8 +91,37 @@ func (t *Table) ReliableOnly(ppage uint64) bool {
 // legitimate stores; system construction calls Sync once layout is
 // done.
 func (t *Table) Sync(pm *paging.PhysMap) {
-	for p := uint64(0); p < t.pages; p++ {
-		t.set(p, pm.ReliableOnly(p))
+	t.syncBits(pm)
+}
+
+// syncBits rewrites the bit array from the ownership map. Physical
+// memory is allocated by a bump pointer, so every page at or above the
+// high-water mark is free and reliable-only: those words are written
+// wholesale instead of bit by bit, leaving only the allocated prefix —
+// typically a few thousand pages of a multi-gigabyte memory — to
+// per-page inspection.
+func (t *Table) syncBits(pm *paging.PhysMap) {
+	alloc := pm.Allocated()
+	if alloc > t.pages {
+		alloc = t.pages
+	}
+	words := int((alloc + 63) / 64)
+	for w := 0; w < words; w++ {
+		base := uint64(w) * 64
+		n := alloc - base
+		if n > 64 {
+			n = 64
+		}
+		word := ^uint64(0) << n // pages past the allocation mark
+		for b := uint64(0); b < n; b++ {
+			if pm.ReliableOnly(base + b) {
+				word |= 1 << b
+			}
+		}
+		t.bits[w] = word
+	}
+	for w := words; w < len(t.bits); w++ {
+		t.bits[w] = ^uint64(0)
 	}
 }
 

@@ -83,6 +83,12 @@ func (m *PhysMap) PageShift() uint { return m.pageShift }
 // Pages returns the number of physical pages.
 func (m *PhysMap) Pages() uint64 { return uint64(len(m.owner)) }
 
+// Allocated returns the bump allocator's high-water mark: every page at
+// or above it is free (and therefore reliable-only). PAT construction
+// uses it to avoid inspecting the millions of untouched pages of a
+// mostly empty physical memory.
+func (m *PhysMap) Allocated() uint64 { return m.nextFree }
+
 // Alloc reserves n physical pages for the given domain and guest,
 // returning the first physical page number. Allocation is a
 // deterministic bump pointer so traces are reproducible.

@@ -10,21 +10,30 @@ type Space struct {
 	Domain Domain
 	Guest  int
 
-	phys  *PhysMap
-	table map[uint64]uint64 // vpage -> ppage
+	phys *PhysMap
 
 	// Regions pre-allocate physical backing so that footprints are
 	// contiguous and allocation order cannot depend on access order.
+	// Translation walks the region list (at most a handful of entries)
+	// and indexes the region's per-page table — cheaper to build and to
+	// query than a hash map over every mapped page, which is what chip
+	// construction cost was dominated by.
 	regions []Region
 }
 
 // Region is a contiguous range of virtual pages backed by a contiguous
-// physical allocation.
+// physical allocation. ppages holds the current per-page mapping
+// (initially PBase+i; Remap rewrites individual entries), owned by this
+// region — MapShared copies it so a remap in one space never changes a
+// translation in another, exactly like the per-space page tables it
+// replaced.
 type Region struct {
 	Name  string
 	VBase uint64 // first virtual page
 	Pages uint64
 	PBase uint64 // first physical page
+
+	ppages []uint64
 }
 
 // NewSpace creates an address space in the given domain.
@@ -34,7 +43,6 @@ func NewSpace(asid int, d Domain, guest int, phys *PhysMap) *Space {
 		Domain: d,
 		Guest:  guest,
 		phys:   phys,
-		table:  make(map[uint64]uint64),
 	}
 }
 
@@ -44,31 +52,43 @@ func NewSpace(asid int, d Domain, guest int, phys *PhysMap) *Space {
 func (s *Space) MapRegion(name string, vbase uint64, pages uint64) Region {
 	vpage := vbase >> s.phys.pageShift
 	pbase := s.phys.Alloc(pages, s.Domain, s.Guest)
+	ppages := make([]uint64, pages)
 	for i := uint64(0); i < pages; i++ {
-		s.table[vpage+i] = pbase + i
+		ppages[i] = pbase + i
 	}
-	r := Region{Name: name, VBase: vpage, Pages: pages, PBase: pbase}
+	r := Region{Name: name, VBase: vpage, Pages: pages, PBase: pbase, ppages: ppages}
 	s.regions = append(s.regions, r)
 	return r
 }
 
 // MapShared installs translations in this space pointing at an existing
 // region's physical pages (used for memory shared between the VCPUs of
-// one guest: OS text/data, shared heaps).
+// one guest: OS text/data, shared heaps). The page table is copied:
+// later remaps stay private to each space.
 func (s *Space) MapShared(name string, vbase uint64, r Region) Region {
 	vpage := vbase >> s.phys.pageShift
-	for i := uint64(0); i < r.Pages; i++ {
-		s.table[vpage+i] = r.PBase + i
-	}
-	nr := Region{Name: name, VBase: vpage, Pages: r.Pages, PBase: r.PBase}
+	ppages := make([]uint64, r.Pages)
+	copy(ppages, r.ppages)
+	nr := Region{Name: name, VBase: vpage, Pages: r.Pages, PBase: r.PBase, ppages: ppages}
 	s.regions = append(s.regions, nr)
 	return nr
+}
+
+// lookup resolves a virtual page through the region list.
+func (s *Space) lookup(vpage uint64) (uint64, bool) {
+	for i := range s.regions {
+		r := &s.regions[i]
+		if off := vpage - r.VBase; off < r.Pages {
+			return r.ppages[off], true
+		}
+	}
+	return 0, false
 }
 
 // Translate maps a virtual address to a physical address. ok is false
 // for unmapped addresses (a page fault in a real system).
 func (s *Space) Translate(va uint64) (pa uint64, ok bool) {
-	ppage, ok := s.table[va>>s.phys.pageShift]
+	ppage, ok := s.lookup(va >> s.phys.pageShift)
 	if !ok {
 		return 0, false
 	}
@@ -82,13 +102,16 @@ func (s *Space) Translate(va uint64) (pa uint64, ok bool) {
 // PAT update, exercising the PAB coherence path.
 func (s *Space) Remap(va uint64) (oldP, newP uint64, ok bool) {
 	vpage := va >> s.phys.pageShift
-	oldP, ok = s.table[vpage]
-	if !ok {
-		return 0, 0, false
+	for i := range s.regions {
+		r := &s.regions[i]
+		if off := vpage - r.VBase; off < r.Pages {
+			oldP = r.ppages[off]
+			newP = s.phys.Alloc(1, s.Domain, s.Guest)
+			r.ppages[off] = newP
+			return oldP, newP, true
+		}
 	}
-	newP = s.phys.Alloc(1, s.Domain, s.Guest)
-	s.table[vpage] = newP
-	return oldP, newP, true
+	return 0, 0, false
 }
 
 // Regions returns the mapped regions.

@@ -93,7 +93,7 @@ func (t *TLB) Lookup(s *Space, va uint64) (pa uint64, hit, ok bool) {
 		}
 	}
 	// Hardware fill from the page table.
-	ppage, found := s.table[vpage]
+	ppage, found := s.lookup(vpage)
 	if !found {
 		return 0, false, false
 	}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/sim"
@@ -41,6 +42,11 @@ type TrialSpec struct {
 
 	ForcePAB    bool
 	PABDisabled bool
+
+	// Recycler, when non-nil, recycles cache line arrays across the
+	// many short-lived chips a trial batch builds (single-owner; the
+	// caller must not share it across concurrent batches).
+	Recycler *cache.Recycler
 }
 
 // TrialResult is one trial's classified faults plus its raw log.
@@ -71,6 +77,7 @@ func RunTrial(spec TrialSpec) (TrialResult, error) {
 		Seed:        spec.Seed,
 		ForcePAB:    spec.ForcePAB,
 		PABDisabled: spec.PABDisabled,
+		Recycler:    spec.Recycler,
 	})
 	if err != nil {
 		return TrialResult{}, err
@@ -88,6 +95,7 @@ func RunTrial(spec TrialSpec) (TrialResult, error) {
 	inj.Rebase(chip.Now)
 	chip.Injector = inj
 	chip.Run(spec.Measure)
+	chip.Release()
 
 	return TrialResult{
 		Records: cls.Classify(inj.Log, cfg),

@@ -145,3 +145,14 @@ func (s *Gang) Due(now sim.Cycle) (int, bool) {
 	s.Switches++
 	return s.active, true
 }
+
+// NextEventAt returns the cycle of the next group switch — the
+// scheduler's event horizon: Due never fires before it, so a run loop
+// may advance to it in bulk without consulting the gang per cycle.
+// A single-group gang never switches and reports sim.Never.
+func (s *Gang) NextEventAt() sim.Cycle {
+	if s.nGroups <= 1 {
+		return sim.Never
+	}
+	return s.nextAt
+}

@@ -6,6 +6,11 @@ import "container/heap"
 // cycles (the target chip runs at 3 GHz, so 3e6 cycles = 1 ms).
 type Cycle = uint64
 
+// Never is the event horizon of a source with nothing scheduled: later
+// than any reachable simulation cycle. Event-driven run loops compare
+// against it to skip consulting an inert source.
+const Never = ^Cycle(0)
+
 // Event is a callback scheduled to run at a particular cycle.
 type Event struct {
 	When Cycle

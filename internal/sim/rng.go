@@ -15,6 +15,14 @@ import "math"
 // safe for concurrent use; every simulated agent owns its own Rand.
 type Rand struct {
 	state uint64
+
+	// Geometric denominator memo: math.Log(1-1/mean) is a pure function
+	// of the mean, and each caller samples from at most a couple of
+	// fixed means (dependency distance, fetch-line run, fault interval),
+	// so two slots avoid recomputing the log on every sample. Purely a
+	// cache — identical inputs yield bit-identical samples.
+	geoMean [2]float64
+	geoLogQ [2]float64
 }
 
 // NewRand returns a generator seeded with seed. Two generators with the
@@ -122,8 +130,25 @@ func (r *Rand) Geometric(mean float64) int {
 		u = 0.999999999
 	}
 	// Inverse-CDF sampling: P(X = k) = p(1-p)^(k-1) with p = 1/mean.
-	p := 1 / mean
-	k := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	// The denominator log(1-p) depends only on the mean; serve it from
+	// the two-slot memo (slot 0 holds the most recent mean).
+	var logq float64
+	switch mean {
+	case r.geoMean[0]:
+		logq = r.geoLogQ[0]
+	case r.geoMean[1]:
+		logq = r.geoLogQ[1]
+		r.geoMean[0], r.geoMean[1] = r.geoMean[1], r.geoMean[0]
+		r.geoLogQ[0], r.geoLogQ[1] = r.geoLogQ[1], r.geoLogQ[0]
+	default:
+		p := 1 / mean
+		logq = math.Log(1 - p)
+		r.geoMean[1] = r.geoMean[0]
+		r.geoLogQ[1] = r.geoLogQ[0]
+		r.geoMean[0] = mean
+		r.geoLogQ[0] = logq
+	}
+	k := int(math.Ceil(math.Log(1-u) / logq))
 	if k < 1 {
 		k = 1
 	}

@@ -84,14 +84,29 @@ func (s *Shared) Skew() int64 {
 	return int64(s.cur[0]) - int64(s.cur[1])
 }
 
-// trim drops buffered instructions both sides have consumed.
+// trimSlack bounds how many consumed instructions may sit at the front
+// of the buffer before trim compacts it, so consumption costs amortized
+// O(1) instead of one memmove of the in-flight tail per instruction.
+const trimSlack = 64
+
+// trim drops buffered instructions both sides have consumed. A fully
+// consumed buffer truncates for free; otherwise compaction is deferred
+// until trimSlack instructions of dead prefix have accumulated.
 func (s *Shared) trim() {
 	minCur := s.cur[0]
 	if !s.solo && s.cur[1] < minCur {
 		minCur = s.cur[1]
 	}
-	if minCur > s.base {
-		n := minCur - s.base
+	n := minCur - s.base
+	if n == 0 {
+		return
+	}
+	if n == uint64(len(s.buf)) {
+		s.buf = s.buf[:0]
+		s.base = minCur
+		return
+	}
+	if n >= trimSlack {
 		s.buf = s.buf[:copy(s.buf, s.buf[n:])]
 		s.base = minCur
 	}
