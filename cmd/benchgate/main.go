@@ -1,0 +1,207 @@
+// Command benchgate is the CI bench regression gate: it parses `go
+// test -bench` output for BenchmarkHotPath, takes the per-kind median
+// of the reported cycles/sec metric across repeated runs, compares
+// each median against the latest recorded baseline in
+// BENCH_hotpath.json, and fails (exit 1) when any kind regressed past
+// the tolerance. The fresh numbers are written as JSON so CI can
+// upload them as a build artifact and a human can refresh the
+// baseline from them.
+//
+//	go test -run=NONE -bench='BenchmarkHotPath$' -benchtime=1s -count=3 . | tee bench.txt
+//	benchgate -baseline BENCH_hotpath.json -bench bench.txt -tolerance 0.35 -out bench-fresh.json
+//
+// The tolerance is deliberately generous: CI hardware is noisy and
+// slower than the recorded machine, so the gate only catches
+// order-of-magnitude mistakes (an accidentally quadratic hot path, a
+// lost fast path), not single-digit drift.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// baselineFile mirrors the BENCH_hotpath.json schema (only the parts
+// the gate needs).
+type baselineFile struct {
+	Benchmark string          `json:"benchmark"`
+	Metric    string          `json:"metric"`
+	Entries   []baselineEntry `json:"entries"`
+}
+
+type baselineEntry struct {
+	PR           int                     `json:"pr"`
+	CyclesPerSec map[string]baselineKind `json:"cycles_per_sec"`
+}
+
+type baselineKind struct {
+	After float64 `json:"after"`
+}
+
+// benchLine matches one sub-benchmark result line, e.g.
+//
+//	BenchmarkHotPath/MMM-IPC-4   123   9270000 ns/op   944490 cycles/sec
+//
+// capturing the kind ("MMM-IPC"; the trailing -N is the GOMAXPROCS
+// suffix, omitted when GOMAXPROCS=1) and the cycles/sec value.
+var benchLine = regexp.MustCompile(`^BenchmarkHotPath/(.+?)(?:-\d+)?\s+.*?([0-9.e+]+) cycles/sec`)
+
+// parseBench collects every per-kind cycles/sec sample from go test
+// -bench output (repeated runs via -count yield repeated samples).
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad cycles/sec in %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	return out, sc.Err()
+}
+
+// median returns the middle sample (lower-middle for even counts).
+func median(samples []float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+// gateResult is the fresh-numbers artifact plus the verdict.
+type gateResult struct {
+	Benchmark   string              `json:"benchmark"`
+	Metric      string              `json:"metric"`
+	Tolerance   float64             `json:"tolerance"`
+	Kinds       map[string]gateKind `json:"kinds"`
+	Regressions []string            `json:"regressions"`
+}
+
+type gateKind struct {
+	Median   float64   `json:"median"`
+	Samples  []float64 `json:"samples"`
+	Baseline float64   `json:"baseline"`
+	Ratio    float64   `json:"ratio"`
+}
+
+// gate compares per-kind medians against the baseline. Every baseline
+// kind must be present in the fresh samples — a kind that silently
+// stopped running is itself a gate failure.
+func gate(baseline map[string]baselineKind, samples map[string][]float64, tolerance float64) gateResult {
+	res := gateResult{
+		Benchmark:   "BenchmarkHotPath",
+		Metric:      "cycles/sec",
+		Tolerance:   tolerance,
+		Kinds:       make(map[string]gateKind),
+		Regressions: []string{},
+	}
+	kinds := make([]string, 0, len(baseline))
+	for k := range baseline {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		base := baseline[k].After
+		ss := samples[k]
+		if len(ss) == 0 {
+			res.Regressions = append(res.Regressions,
+				fmt.Sprintf("%s: no samples (benchmark did not run)", k))
+			continue
+		}
+		med := median(ss)
+		gk := gateKind{Median: med, Samples: ss, Baseline: base, Ratio: 0}
+		if base > 0 {
+			gk.Ratio = med / base
+			if med < base*(1-tolerance) {
+				res.Regressions = append(res.Regressions, fmt.Sprintf(
+					"%s: median %.0f cycles/sec vs baseline %.0f (%.0f%% of baseline, floor %.0f%%)",
+					k, med, base, 100*gk.Ratio, 100*(1-tolerance)))
+			}
+		}
+		res.Kinds[k] = gk
+	}
+	return res
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_hotpath.json", "recorded baseline file")
+		benchPath    = flag.String("bench", "-", "go test -bench output ('-' = stdin)")
+		tolerance    = flag.Float64("tolerance", 0.35, "allowed fractional regression before failing")
+		outPath      = flag.String("out", "", "write fresh numbers + verdict as JSON here")
+	)
+	flag.Parse()
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		fatal("parse %s: %v", *baselinePath, err)
+	}
+	if len(bf.Entries) == 0 {
+		fatal("%s has no entries", *baselinePath)
+	}
+	// The latest entry's "after" numbers are the current baseline.
+	latest := bf.Entries[len(bf.Entries)-1]
+
+	in := os.Stdin
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	samples, err := parseBench(in)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	res := gate(latest.CyclesPerSec, samples, *tolerance)
+	if *outPath != "" {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*outPath, append(out, '\n'), 0o644); err != nil {
+			fatal("%v", err)
+		}
+	}
+	kinds := make([]string, 0, len(res.Kinds))
+	for k := range res.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		gk := res.Kinds[k]
+		fmt.Printf("benchgate: %-10s median %12.0f  baseline %12.0f  ratio %.2f\n",
+			k, gk.Median, gk.Baseline, gk.Ratio)
+	}
+	if len(res.Regressions) > 0 {
+		for _, r := range res.Regressions {
+			fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok (%d kinds within %.0f%% of baseline)\n",
+		len(res.Kinds), 100**tolerance)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchFixture is real-shaped `go test -bench -count=3` output: three
+// samples per kind, kind names containing dashes, plus noise lines
+// the parser must skip.
+const benchFixture = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkHotPath/NoDMR-4         	     100	  10000000 ns/op	   1600000 cycles/sec
+BenchmarkHotPath/NoDMR-4         	     100	  10000000 ns/op	   1500000 cycles/sec
+BenchmarkHotPath/NoDMR-4         	     100	  10000000 ns/op	   1700000 cycles/sec
+BenchmarkHotPath/MMM-IPC-4      	     100	  10000000 ns/op	   1000000 cycles/sec
+BenchmarkHotPath/MMM-IPC-4      	     100	  10000000 ns/op	    900000 cycles/sec
+BenchmarkHotPath/MMM-IPC-4      	     100	  10000000 ns/op	    950000 cycles/sec
+BenchmarkHotPath/SingleOS       	       1	  10000000 ns/op	   4000000 cycles/sec
+BenchmarkHotPathTick/NoDMR-4    	     100	  10000000 ns/op	    500000 cycles/sec
+PASS
+ok  	repro	1.0s
+`
+
+func TestParseBench(t *testing.T) {
+	samples, err := parseBench(strings.NewReader(benchFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("parsed kinds %v, want NoDMR, MMM-IPC and SingleOS", samples)
+	}
+	if got := samples["NoDMR"]; len(got) != 3 || got[0] != 1600000 {
+		t.Fatalf("NoDMR samples: %v", got)
+	}
+	// Dashed kind names must survive the GOMAXPROCS-suffix strip.
+	if got := samples["MMM-IPC"]; len(got) != 3 || got[1] != 900000 {
+		t.Fatalf("MMM-IPC samples: %v", got)
+	}
+	// GOMAXPROCS=1 output carries no -N suffix at all.
+	if got := samples["SingleOS"]; len(got) != 1 || got[0] != 4000000 {
+		t.Fatalf("SingleOS samples: %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("median of odd count: %v", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2 {
+		t.Fatalf("median of even count (lower middle): %v", got)
+	}
+	if got := median([]float64{7}); got != 7 {
+		t.Fatalf("median of one: %v", got)
+	}
+}
+
+func TestGate(t *testing.T) {
+	samples, err := parseBench(strings.NewReader(benchFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := map[string]baselineKind{
+		"NoDMR":   {After: 1624690},
+		"MMM-IPC": {After: 1034722},
+	}
+
+	// Medians 1600000 and 950000 are ~0.98x and ~0.92x of baseline:
+	// comfortably inside a 35% tolerance.
+	res := gate(baseline, samples, 0.35)
+	if len(res.Regressions) != 0 {
+		t.Fatalf("within tolerance but flagged: %v", res.Regressions)
+	}
+	if res.Kinds["NoDMR"].Median != 1600000 {
+		t.Fatalf("NoDMR median: %+v", res.Kinds["NoDMR"])
+	}
+
+	// A tight tolerance turns the slower kind into a regression.
+	res = gate(baseline, samples, 0.05)
+	if len(res.Regressions) != 1 || !strings.Contains(res.Regressions[0], "MMM-IPC") {
+		t.Fatalf("5%% tolerance: %v", res.Regressions)
+	}
+
+	// A baseline kind with no fresh samples is itself a failure — the
+	// gate must not silently pass when a benchmark stops running.
+	baseline["Reunion"] = baselineKind{After: 1000000}
+	res = gate(baseline, samples, 0.35)
+	if len(res.Regressions) != 1 || !strings.Contains(res.Regressions[0], "Reunion") {
+		t.Fatalf("missing kind not flagged: %v", res.Regressions)
+	}
+}

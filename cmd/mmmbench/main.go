@@ -7,6 +7,7 @@
 //	mmmbench -measure 3000000 # override the measurement window
 //	mmmbench -cache ./cache   # reuse results across invocations
 //	mmmbench -json out.json   # machine-readable per-experiment results
+//	mmmbench -workers n1:8078,n2:8078  # shard jobs across mmmd -worker nodes
 //
 // Experiments: fig5a, fig5b, fig6a, fig6b, table1, table2, pab,
 // singleos, faults, relia.
@@ -43,6 +44,8 @@ func main() {
 		seeds    = flag.Int("seeds", 0, "override number of seeds")
 		par      = flag.Int("parallel", 0, "override worker parallelism")
 		cacheDir = flag.String("cache", "", "campaign result cache directory (empty = no cache)")
+		workers  = flag.String("workers", "", "comma-separated mmmd worker fleet (host:port,...); shards campaign jobs remotely")
+		coord    = flag.String("coordinator", "", "job-board bind address for -workers (host[:port]); set a host the workers can reach for cross-host fleets (default loopback, single-machine only)")
 		jsonOut  = flag.String("json", "", "write per-experiment results as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
@@ -76,6 +79,20 @@ func main() {
 			os.Exit(1)
 		}
 		cfg.Cache = cache
+	}
+	if *workers != "" {
+		fleet := campaign.ParseWorkerList(*workers)
+		if len(fleet) == 0 {
+			fmt.Fprintf(os.Stderr, "mmmbench: -workers %q names no workers\n", *workers)
+			os.Exit(1)
+		}
+		// The dispatcher honors the same cache, so mixed local/remote
+		// reruns resume from each other's results.
+		cfg.Runner = campaign.NewDispatcher(campaign.DispatchOptions{
+			Workers: fleet,
+			Cache:   cfg.Cache,
+			Addr:    campaign.CoordinatorAddr(*coord),
+		})
 	}
 
 	var results []expResult

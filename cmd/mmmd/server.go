@@ -31,6 +31,14 @@ type submitRequest struct {
 	// Workloads and Seeds override the sweep axes.
 	Workloads []string `json:"workloads,omitempty"`
 	Seeds     []uint64 `json:"seeds,omitempty"`
+	// Workers overrides the worker fleet ("host:port" or URLs) for
+	// this campaign; empty uses the service's -workers default.
+	// Campaign jobs are then sharded across the fleet through the
+	// pull-based lease protocol instead of the local pool.
+	Workers []string `json:"workers,omitempty"`
+	// Local forces local execution even when the service has a
+	// default fleet.
+	Local bool `json:"local,omitempty"`
 }
 
 // run is one submitted campaign and its execution state.
@@ -40,6 +48,7 @@ type run struct {
 	id       string
 	name     string
 	scale    campaign.Scale
+	workers  int    // fleet size; 0 = local pool
 	status   string // queued, running, done, failed, canceled
 	total    int
 	done     int
@@ -61,6 +70,7 @@ type runStatus struct {
 	Jobs     int            `json:"jobs"`
 	Done     int            `json:"done"`
 	CacheHit int            `json:"cache_hits"`
+	Workers  int            `json:"workers,omitempty"`
 	Error    string         `json:"error,omitempty"`
 	WallMS   int64          `json:"wall_ms,omitempty"`
 }
@@ -76,6 +86,7 @@ func (r *run) snapshot() runStatus {
 		Jobs:     r.total,
 		Done:     r.done,
 		CacheHit: r.hits,
+		Workers:  r.workers,
 		Error:    r.errMsg,
 		WallMS:   r.wall.Milliseconds(),
 	}
@@ -91,14 +102,16 @@ const defaultRetainRuns = 128
 // a shared result cache, so overlapping campaigns reuse each other's
 // simulations.
 type server struct {
-	cache    campaign.Cache
-	counting *campaign.CountingCache // same cache, for /status counters; nil when caching is off
-	parallel int
-	retain   int // completed runs kept; older ones are evicted
-	sem      chan struct{}
-	baseCtx  context.Context
-	wg       sync.WaitGroup
-	started  time.Time
+	cache     campaign.Cache
+	counting  *campaign.CountingCache // same cache, for /status counters; nil when caching is off
+	parallel  int
+	fleet     []string // default worker URLs; empty = local execution
+	coordAddr string   // job-board bind address for distributed runs
+	retain    int      // completed runs kept; older ones are evicted
+	sem       chan struct{}
+	baseCtx   context.Context
+	wg        sync.WaitGroup
+	started   time.Time
 
 	mu      sync.Mutex
 	seq     int
@@ -181,30 +194,49 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	// Placement: an explicit worker list wins, then the service's
+	// default fleet; "local":true forces the in-process pool.
+	var fleet []string
+	if !body.Local {
+		for _, wk := range body.Workers {
+			if u := campaign.NormalizeWorkerURL(wk); u != "" {
+				fleet = append(fleet, u)
+			}
+		}
+		if len(fleet) == 0 {
+			fleet = s.fleet
+		}
+	}
+
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	s.mu.Lock()
 	s.seq++
 	r := &run{
-		seq:    s.seq,
-		id:     fmt.Sprintf("c%d", s.seq),
-		name:   body.Name,
-		scale:  sc,
-		status: "queued",
-		total:  len(jobs),
-		cancel: cancel,
+		seq:     s.seq,
+		id:      fmt.Sprintf("c%d", s.seq),
+		name:    body.Name,
+		scale:   sc,
+		workers: len(fleet),
+		status:  "queued",
+		total:   len(jobs),
+		cancel:  cancel,
 	}
 	s.runs[r.id] = r
 	s.mu.Unlock()
 
 	s.wg.Add(1)
-	go s.execute(ctx, r, jobs)
+	go s.execute(ctx, r, jobs, fleet)
 
 	writeJSON(w, http.StatusAccepted, r.snapshot())
 }
 
 // execute runs one campaign to completion, respecting the
-// per-service concurrency bound.
-func (s *server) execute(ctx context.Context, r *run, jobs []campaign.Job) {
+// per-service concurrency bound. A non-empty fleet shards the jobs
+// across remote workers via the lease protocol; otherwise the local
+// bounded pool runs them. Both paths share the service cache, so a
+// campaign started locally finishes remotely (and vice versa) without
+// re-simulating.
+func (s *server) execute(ctx context.Context, r *run, jobs []campaign.Job, fleet []string) {
 	defer s.wg.Done()
 	defer r.cancel()
 
@@ -222,16 +254,27 @@ func (s *server) execute(ctx context.Context, r *run, jobs []campaign.Job) {
 	r.started = time.Now()
 	r.mu.Unlock()
 
-	eng := campaign.New(campaign.Options{
-		Parallel: s.parallel,
-		Cache:    s.cache,
-		OnProgress: func(done, total, hits int) {
-			r.mu.Lock()
-			r.done, r.hits = done, hits
-			r.mu.Unlock()
-		},
-	})
-	rs, err := eng.Run(ctx, r.scale, jobs)
+	onProgress := func(done, total, hits int) {
+		r.mu.Lock()
+		r.done, r.hits = done, hits
+		r.mu.Unlock()
+	}
+	var runner campaign.Runner
+	if len(fleet) > 0 {
+		runner = campaign.NewDispatcher(campaign.DispatchOptions{
+			Workers:    fleet,
+			Cache:      s.cache,
+			Addr:       campaign.CoordinatorAddr(s.coordAddr),
+			OnProgress: onProgress,
+		})
+	} else {
+		runner = campaign.New(campaign.Options{
+			Parallel:   s.parallel,
+			Cache:      s.cache,
+			OnProgress: onProgress,
+		})
+	}
+	rs, err := runner.Run(ctx, r.scale, jobs)
 	if err != nil {
 		r.finish(nil, nil, err)
 		s.reap()

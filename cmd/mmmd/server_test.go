@@ -230,6 +230,60 @@ func TestServiceStatusReportsCacheCounters(t *testing.T) {
 	}
 }
 
+// TestFleetSubmitMatchesLocal: a campaign submitted to a fleet-backed
+// service shards across its workers, and a forced-local resubmission
+// resumes entirely from the shared cache with byte-identical rows —
+// the mixed local/remote guarantee end to end through the HTTP API.
+func TestFleetSubmitMatchesLocal(t *testing.T) {
+	var workers []string
+	for _, name := range []string{"w1", "w2"} {
+		w := campaign.NewWorker(campaign.WorkerOptions{
+			Name: name, Capacity: 2, Poll: 5 * time.Millisecond,
+		})
+		wts := httptest.NewServer(w.Handler())
+		t.Cleanup(func() {
+			w.Stop()
+			wts.Close()
+		})
+		workers = append(workers, wts.URL)
+	}
+
+	cache, err := campaign.NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(context.Background(), cache, 2, 2)
+	srv.fleet = workers
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	st := submitAndWait(t, ts, micro)
+	if st.Status != "done" || st.Workers != 2 {
+		t.Fatalf("fleet run: %+v", st)
+	}
+	if st.CacheHit != 0 || st.Done != st.Jobs {
+		t.Fatalf("fleet cold run should be all misses: %+v", st)
+	}
+	code, res1 := do(t, http.MethodGet, ts.URL+"/campaigns/"+st.ID+"/results", "")
+	if code != http.StatusOK {
+		t.Fatalf("results: %d", code)
+	}
+
+	// Forced-local resubmission: same jobs, so the fleet's results
+	// serve it fully from cache, byte for byte.
+	st2 := submitAndWait(t, ts, `{"local":true,`+micro[1:])
+	if st2.Status != "done" || st2.Workers != 0 {
+		t.Fatalf("local resubmit: %+v", st2)
+	}
+	if st2.CacheHit != st2.Jobs {
+		t.Fatalf("local resubmit should be fully cached: %+v", st2)
+	}
+	_, res2 := do(t, http.MethodGet, ts.URL+"/campaigns/"+st2.ID+"/results", "")
+	if !bytes.Equal(res1, res2) {
+		t.Fatalf("fleet and local rows differ:\n%s\nvs\n%s", res1, res2)
+	}
+}
+
 // TestFinishClassifiesWrappedCancellation: a cancellation that arrives
 // wrapped (fmt.Errorf %w from a future engine change, or context.Cause)
 // must land the run in "canceled", not "failed".

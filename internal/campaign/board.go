@@ -1,0 +1,388 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// board is the coordinator's campaign state machine: the pull-based
+// job queue behind the lease/heartbeat/complete endpoints. One board
+// runs one campaign's uncached jobs; the Dispatcher owns its
+// lifecycle. All state transitions happen under mu, and every
+// terminal path funnels through closeLocked so doneCh closes exactly
+// once and no lease outlives the board.
+type board struct {
+	sc          Scale
+	jobs        []Job
+	check       string
+	ttl         time.Duration
+	maxInflight int
+	maxAttempts int
+	// onComplete delivers each first completion (job index, metrics)
+	// under mu — in completion order, exactly once per job. The
+	// callback must not call back into the board. A returned error
+	// fails the campaign (e.g. a cache write error, mirroring the
+	// local engine's behavior). Running it under mu is a deliberate
+	// trade-off: completions arrive at job-runtime granularity
+	// (seconds), so even a disk-cache write (µs–ms) held under the
+	// lock is orders of magnitude below the TTL/3 heartbeat budget,
+	// and in exchange delivery order needs no extra machinery.
+	onComplete func(idx int, m core.Metrics) error
+
+	mu          sync.Mutex
+	lastContact time.Time // any worker request; stall detection
+	pending     []int     // job indices awaiting a lease, FIFO
+	attempts    map[int]int
+	completed   map[int]bool
+	results     map[int]core.Metrics
+	leases      map[string]*lease
+	workers     map[string]*workerHealth
+	inflight    int
+	seq         int
+	done        int
+	need        int
+	closed      bool
+	err         error
+	doneCh      chan struct{}
+}
+
+// lease is one outstanding job assignment. A lease record is kept
+// until the board closes; revoked/expired leases stay in the map with
+// ended=true so a late heartbeat or complete from the old holder gets
+// an explicit 410 instead of corrupting a reassigned job.
+type lease struct {
+	id      string
+	idx     int
+	worker  string
+	expires time.Time
+	ended   bool
+}
+
+// workerHealth tracks per-worker failures for the lease-denial
+// backoff: a worker whose leases expire or whose jobs error is denied
+// new leases for an exponentially growing window, so a sick box stops
+// soaking up reassignments while healthy workers drain the queue.
+type workerHealth struct {
+	failures     int
+	backoffUntil time.Time
+}
+
+// backoffBase is the first per-worker denial window; it doubles per
+// consecutive failure up to backoffMax.
+const (
+	backoffBase = 500 * time.Millisecond
+	backoffMax  = 30 * time.Second
+)
+
+// newBoard builds a board over the campaign's uncached job indices.
+func newBoard(sc Scale, jobs []Job, todo []int, ttl time.Duration, maxInflight, maxAttempts int,
+	onComplete func(int, core.Metrics) error) *board {
+	b := &board{
+		sc:          sc,
+		jobs:        jobs,
+		check:       protocolCheck(),
+		ttl:         ttl,
+		maxInflight: maxInflight,
+		maxAttempts: maxAttempts,
+		onComplete:  onComplete,
+		pending:     append([]int(nil), todo...),
+		attempts:    make(map[int]int),
+		completed:   make(map[int]bool),
+		results:     make(map[int]core.Metrics),
+		leases:      make(map[string]*lease),
+		workers:     make(map[string]*workerHealth),
+		need:        len(todo),
+		lastContact: time.Now(),
+		doneCh:      make(chan struct{}),
+	}
+	if b.need == 0 {
+		b.closed = true
+		close(b.doneCh)
+	}
+	return b
+}
+
+// handler routes the board's worker-facing endpoints. Every request —
+// even an idle 204 lease poll — counts as fleet contact for the stall
+// detector: a polling worker is alive and will drain the queue
+// eventually, whereas total silence means the fleet is gone.
+func (b *board) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /lease", b.handleLease)
+	mux.HandleFunc("POST /heartbeat", b.handleHeartbeat)
+	mux.HandleFunc("POST /complete", b.handleComplete)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		b.mu.Lock()
+		b.lastContact = time.Now()
+		b.mu.Unlock()
+		mux.ServeHTTP(w, req)
+	})
+}
+
+// idleFor reports how long the board has gone without any worker
+// contact.
+func (b *board) idleFor(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return now.Sub(b.lastContact)
+}
+
+func (b *board) handleLease(w http.ResponseWriter, req *http.Request) {
+	var lr leaseRequest
+	if err := json.NewDecoder(req.Body).Decode(&lr); err != nil {
+		httpErrorJSON(w, http.StatusBadRequest, "bad lease request: %v", err)
+		return
+	}
+	if lr.Check != b.check {
+		httpErrorJSON(w, http.StatusConflict,
+			"incompatible worker %q: check %q, coordinator %q", lr.Worker, lr.Check, b.check)
+		return
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		b.writeGoneLocked(w)
+		return
+	}
+	now := time.Now()
+	wh := b.workerLocked(lr.Worker)
+	if now.Before(wh.backoffUntil) || b.inflight >= b.maxInflight || len(b.pending) == 0 {
+		// Nothing to hand out right now (queue drained, in-flight cap
+		// reached, or this worker is backing off after failures); the
+		// worker polls again. Jobs may reappear via lease expiry, so an
+		// empty queue is not "done".
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	idx := b.pending[0]
+	b.pending = b.pending[1:]
+	b.seq++
+	l := &lease{
+		id:      fmt.Sprintf("l%d", b.seq),
+		idx:     idx,
+		worker:  lr.Worker,
+		expires: now.Add(b.ttl),
+	}
+	b.leases[l.id] = l
+	b.inflight++
+	j := b.jobs[idx]
+	writeJSONTo(w, http.StatusOK, leaseResponse{
+		LeaseID:     l.id,
+		Job:         j,
+		Scale:       b.sc,
+		SimSeed:     j.SimSeed(),
+		Fingerprint: j.Fingerprint(b.sc),
+		TTLMS:       b.ttl.Milliseconds(),
+	})
+}
+
+func (b *board) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
+	var hr heartbeatRequest
+	if err := json.NewDecoder(req.Body).Decode(&hr); err != nil {
+		httpErrorJSON(w, http.StatusBadRequest, "bad heartbeat: %v", err)
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	l := b.leases[hr.LeaseID]
+	if b.closed || l == nil || l.ended {
+		b.writeGoneLocked(w)
+		return
+	}
+	l.expires = time.Now().Add(b.ttl)
+	writeJSONTo(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (b *board) handleComplete(w http.ResponseWriter, req *http.Request) {
+	var cr completeRequest
+	if err := json.NewDecoder(req.Body).Decode(&cr); err != nil {
+		httpErrorJSON(w, http.StatusBadRequest, "bad completion: %v", err)
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	l := b.leases[cr.LeaseID]
+	if b.closed || l == nil || l.ended {
+		// Revoked or expired-and-reassigned: the result is discarded.
+		// Per-job derived seeds make simulations deterministic, so the
+		// reassigned run produces the identical payload — dropping this
+		// one loses nothing and guarantees each job is counted once.
+		b.writeGoneLocked(w)
+		return
+	}
+	l.ended = true
+	b.inflight--
+
+	idx := l.idx
+	if cr.Error != "" {
+		b.jobFailedLocked(idx, l.worker, fmt.Errorf("campaign: worker %s: job %s: %s",
+			l.worker, b.jobs[idx].Key(), cr.Error))
+		writeJSONTo(w, http.StatusOK, map[string]string{"status": "recorded"})
+		return
+	}
+	if want := b.jobs[idx].Fingerprint(b.sc); cr.Fingerprint != want || cr.Metrics == nil {
+		b.jobFailedLocked(idx, l.worker, fmt.Errorf(
+			"campaign: worker %s returned fingerprint %q for job %s (want %q)",
+			l.worker, cr.Fingerprint, b.jobs[idx].Key(), want))
+		writeJSONTo(w, http.StatusOK, map[string]string{"status": "recorded"})
+		return
+	}
+	if b.completed[idx] {
+		writeJSONTo(w, http.StatusOK, map[string]string{"status": "duplicate"})
+		return
+	}
+	b.completed[idx] = true
+	b.results[idx] = *cr.Metrics
+	b.done++
+	b.workerLocked(l.worker).failures = 0
+	if b.onComplete != nil {
+		if err := b.onComplete(idx, *cr.Metrics); err != nil {
+			b.closeLocked(err)
+			b.writeGoneLocked(w)
+			return
+		}
+	}
+	if b.done == b.need {
+		b.closeLocked(nil)
+	}
+	writeJSONTo(w, http.StatusOK, map[string]string{"status": "accepted"})
+}
+
+// jobFailedLocked records a failed attempt: the worker backs off and
+// the job is requeued, until the attempt budget is spent — then the
+// whole campaign fails with the underlying error, like a local run.
+func (b *board) jobFailedLocked(idx int, worker string, err error) {
+	b.workerFailureLocked(worker)
+	b.attempts[idx]++
+	if b.attempts[idx] >= b.maxAttempts {
+		b.closeLocked(err)
+		return
+	}
+	if !b.completed[idx] {
+		b.pending = append(b.pending, idx)
+	}
+}
+
+// workerFailureLocked bumps a worker's failure count and backoff
+// window (exponential, capped).
+func (b *board) workerFailureLocked(worker string) {
+	wh := b.workerLocked(worker)
+	wh.failures++
+	d := backoffBase << uint(wh.failures-1)
+	if d > backoffMax || d <= 0 {
+		d = backoffMax
+	}
+	wh.backoffUntil = time.Now().Add(d)
+}
+
+func (b *board) workerLocked(name string) *workerHealth {
+	wh := b.workers[name]
+	if wh == nil {
+		wh = &workerHealth{}
+		b.workers[name] = wh
+	}
+	return wh
+}
+
+// reap expires overdue leases: each one counts as a failure of its
+// holder (heartbeats stopped — the worker died or lost its network)
+// and its job goes back in the queue for reassignment.
+func (b *board) reap(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for _, l := range b.leases {
+		if l.ended || now.Before(l.expires) {
+			continue
+		}
+		l.ended = true
+		b.inflight--
+		b.jobFailedLocked(l.idx, l.worker, fmt.Errorf(
+			"campaign: worker %s lease on job %s expired %d times",
+			l.worker, b.jobs[l.idx].Key(), b.attempts[l.idx]+1))
+		if b.closed {
+			return
+		}
+	}
+}
+
+// close terminates the board: every live lease is revoked (later
+// heartbeats and completes get 410 and their results are discarded)
+// and doneCh closes. err == nil means the campaign completed.
+func (b *board) close(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closeLocked(err)
+}
+
+func (b *board) closeLocked(err error) {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.err = err
+	for _, l := range b.leases {
+		if !l.ended {
+			l.ended = true
+			b.inflight--
+		}
+	}
+	close(b.doneCh)
+}
+
+// wait blocks until the board closes and returns its terminal error.
+func (b *board) wait() error {
+	<-b.doneCh
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// liveLeases reports the number of un-ended leases — zero after close,
+// which the shutdown regression test pins.
+func (b *board) liveLeases() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, l := range b.leases {
+		if !l.ended {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *board) writeGoneLocked(w http.ResponseWriter) {
+	writeJSONTo(w, http.StatusGone, boardStatus{
+		Done:  b.closed && b.err == nil,
+		Error: errString(b.err),
+	})
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// writeJSONTo and httpErrorJSON are the board/worker-side JSON
+// helpers (cmd/mmmd has its own; these keep internal/campaign
+// self-contained).
+func writeJSONTo(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpErrorJSON(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSONTo(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,234 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DispatchOptions configures a Dispatcher.
+type DispatchOptions struct {
+	// Workers lists the worker base URLs ("http://host:port"); use
+	// ParseWorkerList to build it from a -workers flag.
+	Workers []string
+	// Cache, when non-nil, is consulted before dispatch (hits never
+	// leave the coordinator) and filled as remote completions arrive,
+	// so mixed local/remote reruns resume for free.
+	Cache Cache
+	// OnProgress mirrors Options.OnProgress: called in completion
+	// order with running totals.
+	OnProgress func(done, total, hits int)
+	// Addr is the coordinator's listen address for the per-campaign
+	// job board; default "127.0.0.1:0" (an ephemeral port).
+	Addr string
+	// Advertise overrides the board URL handed to workers, for fleets
+	// where the coordinator's listen address is not the address
+	// workers can reach (NAT, containers). Default: the listener's
+	// own address.
+	Advertise string
+	// LeaseTTL bounds how long a worker may go silent before its
+	// leases are revoked and reassigned; default 15s.
+	LeaseTTL time.Duration
+	// MaxInflight bounds outstanding leases across the fleet; default
+	// 4 per worker.
+	MaxInflight int
+	// MaxAttempts bounds how often one job may fail (error or lease
+	// expiry) before the campaign fails; default 3.
+	MaxAttempts int
+	// StallTimeout fails the campaign when no worker has contacted
+	// the board at all for this long — the whole fleet died or lost
+	// the network, and waiting further cannot make progress. Default
+	// 2 minutes. (An idle poll counts as contact: a live fleet never
+	// stalls, however slow its jobs, because workers heartbeat and
+	// poll continuously.)
+	StallTimeout time.Duration
+}
+
+// Dispatcher is the remote Runner: it shards a campaign's uncached
+// jobs across a fleet of mmmd workers through a pull-based job board
+// and merges the completions — in expansion order, through the same
+// content-addressed cache — so a sharded campaign is byte-identical
+// to a local one. It is stateless across Run calls (each run gets its
+// own board and listener) and safe for concurrent Runs.
+type Dispatcher struct {
+	opts DispatchOptions
+}
+
+// NewDispatcher returns a dispatcher over the given fleet.
+func NewDispatcher(opts DispatchOptions) *Dispatcher {
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 15 * time.Second
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 4 * len(opts.Workers)
+		if opts.MaxInflight < 1 {
+			opts.MaxInflight = 1
+		}
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.StallTimeout <= 0 {
+		opts.StallTimeout = 2 * time.Minute
+	}
+	return &Dispatcher{opts: opts}
+}
+
+// Run implements Runner. Cache hits are resolved locally; the rest go
+// on the board, the fleet is invited to pull, and the call blocks
+// until every job completed, one failed terminally, or ctx was
+// cancelled — in which case every outstanding lease is revoked before
+// returning, so no worker's late result can be double-counted by a
+// successor run (re-running simply resumes from the cache).
+func (d *Dispatcher) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet, error) {
+	if len(d.opts.Workers) == 0 {
+		return nil, fmt.Errorf("campaign: dispatcher has no workers")
+	}
+	start := time.Now()
+	rs := &ResultSet{Scale: sc, Results: make([]Result, len(jobs))}
+
+	// Serve cache hits locally, exactly like the engine would.
+	var todo []int
+	done, hits := 0, 0
+	progress := func() {
+		if d.opts.OnProgress != nil {
+			d.opts.OnProgress(done, len(jobs), hits)
+		}
+	}
+	for i, j := range jobs {
+		if d.opts.Cache != nil {
+			if m, ok := d.opts.Cache.Get(j.Fingerprint(sc)); ok {
+				rs.Results[i] = Result{Job: j, Metrics: m, CacheHit: true}
+				done++
+				hits++
+				progress()
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+
+	b := newBoard(sc, jobs, todo, d.opts.LeaseTTL, d.opts.MaxInflight, d.opts.MaxAttempts,
+		func(idx int, m core.Metrics) error {
+			rs.Results[idx] = Result{Job: jobs[idx], Metrics: m}
+			if d.opts.Cache != nil {
+				if err := d.opts.Cache.Put(jobs[idx].Fingerprint(sc), m); err != nil {
+					return err
+				}
+			}
+			done++
+			progress()
+			return nil
+		})
+
+	if len(todo) > 0 {
+		ln, err := net.Listen("tcp", d.opts.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: coordinator listen: %w", err)
+		}
+		srv := &http.Server{Handler: b.handler()}
+		go func() { _ = srv.Serve(ln) }() // Serve returns once Close tears the listener down
+		defer srv.Close()
+
+		boardURL := d.opts.Advertise
+		if boardURL == "" {
+			boardURL = "http://" + ln.Addr().String()
+		}
+		attached := 0
+		var lastErr error
+		for _, w := range d.opts.Workers {
+			if err := attachWorker(ctx, w, boardURL); err != nil {
+				lastErr = err
+				continue
+			}
+			attached++
+		}
+		if attached == 0 {
+			b.close(lastErr)
+			return nil, fmt.Errorf("campaign: no worker attached: %w", lastErr)
+		}
+
+		// Reap expired leases — and watch for total fleet loss — until
+		// the board closes.
+		reapDone := make(chan struct{})
+		go func() {
+			defer close(reapDone)
+			t := time.NewTicker(d.opts.LeaseTTL / 4)
+			defer t.Stop()
+			for {
+				select {
+				case <-b.doneCh:
+					return
+				case now := <-t.C:
+					b.reap(now)
+					if idle := b.idleFor(now); idle > d.opts.StallTimeout {
+						b.close(fmt.Errorf(
+							"campaign: no worker contact for %v: fleet lost", idle.Round(time.Second)))
+						return
+					}
+				}
+			}
+		}()
+
+		select {
+		case <-ctx.Done():
+			// Revoke everything in flight *before* returning: a
+			// SIGTERM'd coordinator must leave no orphaned leases, and
+			// any completion racing in after this point is rejected
+			// with 410 and discarded.
+			b.close(ctx.Err())
+		case <-b.doneCh:
+		}
+		<-reapDone
+		if err := b.wait(); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rs.Hits, rs.Misses = hits, done-hits
+	rs.Wall = time.Since(start)
+	return rs, nil
+}
+
+// attachWorker invites one worker to pull from the board.
+func attachWorker(ctx context.Context, workerURL, boardURL string) error {
+	body, err := json.Marshal(attachRequest{Coordinator: boardURL, Check: protocolCheck()})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		workerURL+"/attach", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := attachClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("campaign: attach %s: %w", workerURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("campaign: attach %s: %d %s", workerURL, resp.StatusCode, e.Error)
+	}
+	return nil
+}
+
+// attachClient bounds how long a dead worker can stall campaign
+// startup.
+var attachClient = &http.Client{Timeout: 10 * time.Second}

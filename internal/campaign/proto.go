@@ -1,0 +1,145 @@
+package campaign
+
+import (
+	"fmt"
+	"net"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// The distributed campaign protocol. A coordinator (Dispatcher) serves
+// a job board over HTTP; workers attach to it and then *pull*: each
+// worker leases one job at a time, heartbeats while simulating, and
+// completes with the canonical metrics payload plus the job's cache
+// key. The coordinator owns all campaign state — workers are stateless
+// between jobs, so losing one costs at most its in-flight leases,
+// which expire and are reassigned.
+//
+// Board endpoints (served by the coordinator, called by workers):
+//
+//	POST /lease     -> leaseResponse | 204 (nothing to hand out) | 410 (board over)
+//	POST /heartbeat -> 200 (extended) | 410 (lease revoked or board over)
+//	POST /complete  -> 200 | 410 (lease revoked; result discarded)
+//
+// Worker endpoints (served by mmmd -worker, called by coordinators):
+//
+//	POST /attach  -> attachResponse | 409 (incompatible build)
+//	GET  /healthz, GET /status
+//
+// protoVersion gates the wire format; protocolCheck() additionally
+// folds in the simulator's SpecVersion and RNG stream digest so two
+// *compatible wire formats* around *incompatible simulators* still
+// refuse to mix — a silent mix would break the byte-identical
+// determinism guarantee of sharded campaigns.
+const protoVersion = 1
+
+// protocolCheck is the compatibility token exchanged at attach and
+// lease time.
+func protocolCheck() string {
+	return fmt.Sprintf("p%d.s%d.%s", protoVersion, SpecVersion, sim.StreamCheck())
+}
+
+// attachRequest invites a worker to start pulling jobs from a board.
+type attachRequest struct {
+	// Coordinator is the base URL of the board to pull from.
+	Coordinator string `json:"coordinator"`
+	// Check is the coordinator's protocolCheck(); the worker refuses
+	// the attachment unless it matches its own.
+	Check string `json:"check"`
+}
+
+// attachResponse acknowledges an attachment.
+type attachResponse struct {
+	Worker   string `json:"worker"`
+	Capacity int    `json:"capacity"`
+	Check    string `json:"check"`
+}
+
+// leaseRequest asks the board for one job.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+	Check  string `json:"check"`
+}
+
+// leaseResponse hands a worker one job under a lease. SimSeed and
+// Fingerprint are the coordinator's derivations; the worker recomputes
+// both and refuses the job on mismatch, so a seed-derivation or
+// fingerprint skew between builds surfaces as an explicit error
+// instead of a silently divergent (and wrongly cached) simulation.
+type leaseResponse struct {
+	LeaseID     string `json:"lease_id"`
+	Job         Job    `json:"job"`
+	Scale       Scale  `json:"scale"`
+	SimSeed     uint64 `json:"sim_seed"`
+	Fingerprint string `json:"fingerprint"`
+	TTLMS       int64  `json:"ttl_ms"`
+}
+
+// heartbeatRequest extends a lease while its job simulates.
+type heartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// completeRequest returns a finished job: the canonical core.Metrics
+// payload (the same JSON the content-addressed cache stores) plus the
+// job's cache key, or an error. Exactly one of Metrics/Error is set.
+type completeRequest struct {
+	LeaseID     string        `json:"lease_id"`
+	Worker      string        `json:"worker"`
+	Fingerprint string        `json:"fingerprint"`
+	Metrics     *core.Metrics `json:"metrics,omitempty"`
+	Error       string        `json:"error,omitempty"`
+}
+
+// boardStatus is the terminal payload of 410 responses: why the board
+// is over, so workers can log something actionable.
+type boardStatus struct {
+	Done  bool   `json:"done"`
+	Error string `json:"error,omitempty"`
+}
+
+// NormalizeWorkerURL turns a -workers flag element (host:port or a
+// full URL) into a worker base URL.
+func NormalizeWorkerURL(s string) string {
+	s = strings.TrimRight(strings.TrimSpace(s), "/")
+	if s == "" {
+		return ""
+	}
+	if strings.HasPrefix(s, "http://") || strings.HasPrefix(s, "https://") {
+		return s
+	}
+	return "http://" + s
+}
+
+// CoordinatorAddr resolves a -coordinator flag into a job-board
+// listen address. The board's advertised URL is derived from the
+// bound listener, so the flag's host decides what workers are told to
+// dial: "" keeps the loopback default (single-machine fleets), a bare
+// host (including an IPv6 literal like "2001:db8::1") binds that
+// interface with an ephemeral port — the right form for cross-host
+// fleets, where concurrent campaigns each get their own port — and an
+// explicit "host:port" / "[v6]:port" is used verbatim.
+func CoordinatorAddr(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "127.0.0.1:0"
+	}
+	if _, _, err := net.SplitHostPort(s); err == nil {
+		return s
+	}
+	return net.JoinHostPort(s, "0")
+}
+
+// ParseWorkerList splits a comma-separated -workers flag into worker
+// base URLs, dropping empty elements.
+func ParseWorkerList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if u := NormalizeWorkerURL(part); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+package campaign
+
+import "context"
+
+// Runner executes an expanded job set at a scale and returns the
+// ordered result set. It is the seam between campaign *definition*
+// (Spec/Expand) and campaign *execution*: the local bounded worker
+// pool (Engine) and the remote fleet dispatcher (Dispatcher) both
+// implement it, so every front end — internal/exp tables, mmmbench,
+// the mmmd service — can run a sweep on one box or across a worker
+// fleet without caring which.
+//
+// Implementations must uphold the engine's contract: Results are in
+// expansion order regardless of scheduling, the run stops on the first
+// error or context cancellation, and — given the per-job derived seeds
+// — the same (scale, jobs) input produces byte-identical Summarize
+// rows however the work was placed.
+type Runner interface {
+	Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet, error)
+}
+
+// Engine and Dispatcher are the two interchangeable executors.
+var (
+	_ Runner = (*Engine)(nil)
+	_ Runner = (*Dispatcher)(nil)
+)

@@ -36,6 +36,12 @@ type Config struct {
 	// Cache, when non-nil, serves repeated jobs from the campaign
 	// result cache instead of re-simulating.
 	Cache campaign.Cache
+
+	// Runner, when non-nil, executes campaigns instead of a local
+	// engine — mmmbench -workers installs the fleet dispatcher here.
+	// The Runner contract guarantees the tables come out
+	// byte-identical either way.
+	Runner campaign.Runner
 }
 
 // fromScale builds a Config from a campaign preset, so mmmbench and
@@ -85,10 +91,14 @@ func (c Config) runAll(jobs []campaign.Job) (map[string][]core.Metrics, error) {
 	return rs.ByKey(), nil
 }
 
-// runSet executes jobs on the campaign engine.
+// runSet executes jobs on the configured runner (the local campaign
+// engine unless a remote dispatcher is installed).
 func (c Config) runSet(jobs []campaign.Job) (*campaign.ResultSet, error) {
-	eng := campaign.New(campaign.Options{Parallel: c.Parallel, Cache: c.Cache})
-	return eng.Run(context.Background(), c.Scale(), jobs)
+	r := c.Runner
+	if r == nil {
+		r = campaign.New(campaign.Options{Parallel: c.Parallel, Cache: c.Cache})
+	}
+	return r.Run(context.Background(), c.Scale(), jobs)
 }
 
 // named expands the registered campaign spec under this config's axes

@@ -6,7 +6,10 @@
 // ASPLOS 2009, Section 4.1).
 package sim
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Rand is a small, fast, deterministic PRNG (splitmix64). Determinism
 // matters: the vocal and the mute core of a Reunion pair must observe
@@ -115,6 +118,23 @@ func DeriveSeed(base uint64, labels ...string) uint64 {
 	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
 	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
 	return h ^ (h >> 31)
+}
+
+// StreamCheck digests the opening of the canonical derived random
+// stream into a short hex token. Two builds that disagree on either
+// DeriveSeed or the generator itself — and would therefore simulate
+// different chips from the same declared seed — disagree on this token.
+// The distributed campaign protocol exchanges it at attach time so a
+// coordinator never leases jobs to a worker running an incompatible
+// simulator, which would silently break the byte-identical determinism
+// guarantee of sharded campaigns.
+func StreamCheck() string {
+	r := NewRand(DeriveSeed(0x6d6d6d, "stream-check"))
+	var h uint64
+	for i := 0; i < 16; i++ {
+		h = h*0x100000001b3 + r.Next()
+	}
+	return fmt.Sprintf("%016x", h)
 }
 
 // Geometric returns a sample from a geometric distribution with the

@@ -148,3 +148,20 @@ func TestConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamCheckPinned pins the RNG stream digest that the
+// distributed campaign protocol exchanges at attach time. If this
+// test fails, the generator or DeriveSeed changed semantics: that is
+// allowed, but it invalidates every cached campaign result — bump
+// campaign.SpecVersion in the same change, then update the constant
+// here. (The protocol token already folds SpecVersion in, so a
+// correctly-bumped build pairs only with its own kind.)
+func TestStreamCheckPinned(t *testing.T) {
+	const pinned = "0c8267d67d3fbdce"
+	if got := StreamCheck(); got != pinned {
+		t.Fatalf("StreamCheck() = %q, want %q — RNG stream semantics changed; bump campaign.SpecVersion and repin", got, pinned)
+	}
+	if StreamCheck() != StreamCheck() {
+		t.Fatal("StreamCheck not stable across calls")
+	}
+}
