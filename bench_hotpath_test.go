@@ -16,28 +16,38 @@ import (
 	"repro/internal/workload"
 )
 
-// hotPathKinds is every evaluated system configuration, in Kind order.
-var hotPathKinds = []core.Kind{
-	core.KindNoDMR2X,
-	core.KindNoDMR,
-	core.KindReunion,
-	core.KindDMRBase,
-	core.KindMMMIPC,
-	core.KindMMMTP,
-	core.KindSingleOS,
+// hotPathCell names one benchmark configuration: a system kind, in
+// Kind order, plus dynamic-mode-policy cells (policy decisions and
+// their transitions are chip-level events the event-horizon run loop
+// must absorb, so their speed is part of the recorded trajectory).
+type hotPathCell struct {
+	name   string
+	kind   core.Kind
+	policy string
 }
+
+var hotPathKinds = func() []hotPathCell {
+	var cells []hotPathCell
+	for _, k := range core.AllKinds() {
+		cells = append(cells, hotPathCell{name: k.String(), kind: k})
+	}
+	return append(cells,
+		hotPathCell{name: "MMM-IPC+duty-cycle", kind: core.KindMMMIPC, policy: "duty-cycle"},
+		hotPathCell{name: "Reunion+utilization", kind: core.KindReunion, policy: "utilization"},
+	)
+}()
 
 // hotPathChip builds the benchmark system: the apache workload (the
 // paper's most switch-heavy server mix) at the default configuration,
 // settled past the cold-cache transient so the benchmark window
 // measures steady-state simulation speed.
-func hotPathChip(b *testing.B, kind core.Kind) *core.Chip {
+func hotPathChip(b *testing.B, cell hotPathCell) *core.Chip {
 	b.Helper()
 	wl, err := workload.ByName("apache")
 	if err != nil {
 		b.Fatal(err)
 	}
-	chip, err := core.NewSystem(core.Options{Kind: kind, Workload: wl, Seed: 11})
+	chip, err := core.NewSystem(core.Options{Kind: cell.kind, Policy: cell.policy, Workload: wl, Seed: 11})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -49,9 +59,9 @@ func hotPathChip(b *testing.B, kind core.Kind) *core.Chip {
 // simulated cycles per second (the number BENCH_hotpath.json records).
 func BenchmarkHotPath(b *testing.B) {
 	const slice = 10_000 // cycles per iteration: several gang timeslices per second
-	for _, kind := range hotPathKinds {
-		b.Run(kind.String(), func(b *testing.B) {
-			chip := hotPathChip(b, kind)
+	for _, cell := range hotPathKinds {
+		b.Run(cell.name, func(b *testing.B) {
+			chip := hotPathChip(b, cell)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				chip.Run(slice)
@@ -72,7 +82,7 @@ func BenchmarkHotPathTick(b *testing.B) {
 	const slice = 10_000
 	for _, kind := range []core.Kind{core.KindNoDMR, core.KindMMMTP} {
 		b.Run(kind.String(), func(b *testing.B) {
-			chip := hotPathChip(b, kind)
+			chip := hotPathChip(b, hotPathCell{name: kind.String(), kind: kind})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for c := sim.Cycle(0); c < slice; c++ {

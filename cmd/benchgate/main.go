@@ -14,26 +14,55 @@
 // slower than the recorded machine, so the gate only catches
 // order-of-magnitude mistakes (an accidentally quadratic hot path, a
 // lost fast path), not single-digit drift.
+//
+// With -update, benchgate instead *appends* a fresh baseline entry to
+// the file from the same bench output — per-kind medians become the
+// "after" numbers, the previous entry's "after" numbers become
+// "before" for kinds both entries share — so adding a new bench kind
+// (which the gate would otherwise only ever fail as missing) is a
+// one-command baseline refresh:
+//
+//	go test -run=NONE -bench='BenchmarkHotPath$' -benchtime=1s -count=3 . | \
+//	    benchgate -update -pr 5 -change "mode-policy layer" -baseline BENCH_hotpath.json
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
+	"time"
 )
 
-// baselineFile mirrors the BENCH_hotpath.json schema (only the parts
-// the gate needs).
+// baselineFile mirrors the BENCH_hotpath.json schema. The header
+// fields ride along so -update rewrites the file without dropping
+// them; entries stay raw so historical records round-trip untouched.
 type baselineFile struct {
-	Benchmark string          `json:"benchmark"`
-	Metric    string          `json:"metric"`
-	Entries   []baselineEntry `json:"entries"`
+	Comment   string            `json:"comment,omitempty"`
+	Benchmark string            `json:"benchmark"`
+	Metric    string            `json:"metric"`
+	Benchtime string            `json:"benchtime,omitempty"`
+	Workload  string            `json:"workload,omitempty"`
+	Seed      int               `json:"seed,omitempty"`
+	CPU       string            `json:"cpu,omitempty"`
+	Entries   []json.RawMessage `json:"entries"`
+}
+
+// latestEntry decodes the gate-relevant view of the newest entry.
+func (bf *baselineFile) latestEntry() (baselineEntry, error) {
+	var e baselineEntry
+	if len(bf.Entries) == 0 {
+		return e, fmt.Errorf("baseline has no entries")
+	}
+	err := json.Unmarshal(bf.Entries[len(bf.Entries)-1], &e)
+	return e, err
 }
 
 type baselineEntry struct {
@@ -134,12 +163,69 @@ func gate(baseline map[string]baselineKind, samples map[string][]float64, tolera
 	return res
 }
 
+// updateKind is one kind's record in an appended baseline entry.
+type updateKind struct {
+	Before  float64 `json:"before,omitempty"`
+	After   float64 `json:"after"`
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// buildUpdateEntry folds fresh per-kind medians into a new baseline
+// entry: medians become "after", the previous entry's "after" become
+// "before" where both exist (kinds new to the suite record only an
+// "after").
+func buildUpdateEntry(prev baselineEntry, samples map[string][]float64, pr int, date, change string) (json.RawMessage, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("bench output contains no BenchmarkHotPath samples")
+	}
+	kinds := make(map[string]updateKind, len(samples))
+	for k, ss := range samples {
+		uk := updateKind{After: median(ss)}
+		if base, ok := prev.CyclesPerSec[k]; ok && base.After > 0 {
+			uk.Before = base.After
+			uk.Speedup = round2(uk.After / uk.Before)
+		}
+		kinds[k] = uk
+	}
+	entry := struct {
+		PR           int                   `json:"pr"`
+		Date         string                `json:"date"`
+		Change       string                `json:"change,omitempty"`
+		CyclesPerSec map[string]updateKind `json:"cycles_per_sec"`
+	}{PR: pr, Date: date, Change: change, CyclesPerSec: kinds}
+	return marshalPlain(entry, "")
+}
+
+// marshalPlain marshals without HTML escaping — the baseline file is
+// read by maintainers, and its comment/change strings legitimately
+// contain <, > and & (shell recipes) that must not turn into <.
+func marshalPlain(v any, indent string) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if indent != "" {
+		enc.SetIndent("", indent)
+	}
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}
+
+// round2 rounds to two decimals (speedup readability).
+func round2(v float64) float64 {
+	return math.Round(v*100) / 100
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_hotpath.json", "recorded baseline file")
 		benchPath    = flag.String("bench", "-", "go test -bench output ('-' = stdin)")
 		tolerance    = flag.Float64("tolerance", 0.35, "allowed fractional regression before failing")
 		outPath      = flag.String("out", "", "write fresh numbers + verdict as JSON here")
+		update       = flag.Bool("update", false, "append a fresh baseline entry instead of gating")
+		pr           = flag.Int("pr", 0, "PR number recorded in the appended entry (-update)")
+		change       = flag.String("change", "", "one-line change description for the appended entry (-update)")
 	)
 	flag.Parse()
 
@@ -151,11 +237,10 @@ func main() {
 	if err := json.Unmarshal(data, &bf); err != nil {
 		fatal("parse %s: %v", *baselinePath, err)
 	}
-	if len(bf.Entries) == 0 {
-		fatal("%s has no entries", *baselinePath)
+	latest, err := bf.latestEntry()
+	if err != nil {
+		fatal("%s: %v", *baselinePath, err)
 	}
-	// The latest entry's "after" numbers are the current baseline.
-	latest := bf.Entries[len(bf.Entries)-1]
 
 	in := os.Stdin
 	if *benchPath != "-" {
@@ -169,6 +254,24 @@ func main() {
 	samples, err := parseBench(in)
 	if err != nil {
 		fatal("%v", err)
+	}
+
+	if *update {
+		entry, err := buildUpdateEntry(latest, samples, *pr, time.Now().Format("2006-01-02"), *change)
+		if err != nil {
+			fatal("%v", err)
+		}
+		bf.Entries = append(bf.Entries, entry)
+		out, err := marshalPlain(&bf, "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("benchgate: appended entry pr=%d with %d kinds to %s\n",
+			*pr, len(samples), *baselinePath)
+		return
 	}
 
 	res := gate(latest.CyclesPerSec, samples, *tolerance)

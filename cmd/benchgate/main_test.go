@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -89,5 +90,64 @@ func TestGate(t *testing.T) {
 	res = gate(baseline, samples, 0.35)
 	if len(res.Regressions) != 1 || !strings.Contains(res.Regressions[0], "Reunion") {
 		t.Fatalf("missing kind not flagged: %v", res.Regressions)
+	}
+}
+
+func TestBuildUpdateEntry(t *testing.T) {
+	samples, err := parseBench(strings.NewReader(benchFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := baselineEntry{
+		PR: 4,
+		CyclesPerSec: map[string]baselineKind{
+			"NoDMR":   {After: 1500000},
+			"MMM-IPC": {After: 1000000},
+			// A kind retired from the suite simply drops out.
+			"Retired": {After: 1},
+		},
+	}
+	raw, err := buildUpdateEntry(prev, samples, 5, "2026-07-29", "test change")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entry struct {
+		PR           int                   `json:"pr"`
+		Date         string                `json:"date"`
+		Change       string                `json:"change"`
+		CyclesPerSec map[string]updateKind `json:"cycles_per_sec"`
+	}
+	if err := json.Unmarshal(raw, &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.PR != 5 || entry.Date != "2026-07-29" || entry.Change != "test change" {
+		t.Fatalf("header: %+v", entry)
+	}
+	// Known kinds: median becomes after, previous after becomes before.
+	nd := entry.CyclesPerSec["NoDMR"]
+	if nd.After != 1600000 || nd.Before != 1500000 || nd.Speedup != 1.07 {
+		t.Fatalf("NoDMR: %+v", nd)
+	}
+	// A kind new to the suite records only an after — the exact case
+	// the gate's missing-kind check could previously only fail on.
+	so := entry.CyclesPerSec["SingleOS"]
+	if so.After != 4000000 || so.Before != 0 || so.Speedup != 0 {
+		t.Fatalf("SingleOS: %+v", so)
+	}
+	if _, ok := entry.CyclesPerSec["Retired"]; ok {
+		t.Fatal("retired kind resurrected")
+	}
+	// The gate accepts the appended entry as its new baseline.
+	var latest baselineEntry
+	if err := json.Unmarshal(raw, &latest); err != nil {
+		t.Fatal(err)
+	}
+	res := gate(latest.CyclesPerSec, samples, 0.35)
+	if len(res.Regressions) != 0 {
+		t.Fatalf("fresh entry gates its own samples: %v", res.Regressions)
+	}
+	// No samples at all is an error, not an empty entry.
+	if _, err := buildUpdateEntry(prev, nil, 5, "2026-07-29", ""); err == nil {
+		t.Fatal("empty samples accepted")
 	}
 }

@@ -10,7 +10,7 @@
 //	mmmbench -workers n1:8078,n2:8078  # shard jobs across mmmd -worker nodes
 //
 // Experiments: fig5a, fig5b, fig6a, fig6b, table1, table2, pab,
-// singleos, faults, relia.
+// singleos, faults, relia, policy.
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/exp"
+	"repro/internal/mode"
 	"repro/internal/sim"
 )
 
@@ -36,7 +37,8 @@ type expResult struct {
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: all,fig5a,fig5b,fig6a,fig6b,table1,table2,pab,singleos,faults,relia")
+		which    = flag.String("exp", "all", "experiment: all,fig5a,fig5b,fig6a,fig6b,table1,table2,pab,singleos,faults,relia,policy")
+		policies = flag.String("policies", "", "comma-separated mode-policy axis for -exp policy (e.g. 'static,duty-cycle:60000:25'); empty sweeps every registered policy")
 		quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 		warmup   = flag.Uint64("warmup", 0, "override warmup cycles")
 		measure  = flag.Uint64("measure", 0, "override measurement cycles")
@@ -71,6 +73,16 @@ func main() {
 	}
 	if *par > 0 {
 		cfg.Parallel = *par
+	}
+	if *policies != "" {
+		for _, p := range strings.Split(*policies, ",") {
+			p = strings.TrimSpace(p)
+			if _, err := mode.Parse(p); err != nil {
+				fmt.Fprintf(os.Stderr, "mmmbench: -policies: %v\n", err)
+				os.Exit(2)
+			}
+			cfg.Policies = append(cfg.Policies, p)
+		}
 	}
 	if *cacheDir != "" {
 		cache, err := campaign.NewDiskCache(*cacheDir)
@@ -209,6 +221,14 @@ func main() {
 			return 0, err
 		}
 		fmt.Println(exp.ReliabilityTable(rows))
+		return len(rows), nil
+	})
+	run("policy", func() (int, error) {
+		rows, err := exp.PolicyStudy(cfg)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Println(exp.PolicyTable(rows))
 		return len(rows), nil
 	})
 

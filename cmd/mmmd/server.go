@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/mode"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -31,6 +32,11 @@ type submitRequest struct {
 	// Workloads and Seeds override the sweep axes.
 	Workloads []string `json:"workloads,omitempty"`
 	Seeds     []uint64 `json:"seeds,omitempty"`
+	// Policies overrides the mode-policy axis: each entry is a policy
+	// spec (GET /catalog lists the registered names), "" or "static"
+	// meaning the kind's default behavior. The campaign's cells are
+	// multiplied across the axis. Unknown names are rejected with 400.
+	Policies []string `json:"policies,omitempty"`
 	// Workers overrides the worker fleet ("host:port" or URLs) for
 	// this campaign; empty uses the service's -workers default.
 	// Campaign jobs are then sharded across the fleet through the
@@ -149,11 +155,14 @@ func (s *server) handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /catalog", func(w http.ResponseWriter, _ *http.Request) {
-		// Names plus full axes (kinds, workloads, variants, seeds, job
-		// counts), so operators can discover what a registered sweep
-		// runs without reading source.
+		// Names plus full axes (kinds, workloads, variants, policies,
+		// seeds, job counts), so operators can discover what a
+		// registered sweep runs without reading source. "policies"
+		// lists every mode policy a submission may name on its
+		// "policies" axis.
 		writeJSON(w, http.StatusOK, map[string]any{
 			"names":     campaign.Names(),
+			"policies":  mode.Names(),
 			"campaigns": campaign.Catalog(),
 		})
 	})
@@ -183,10 +192,24 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		// so the two front ends share cache entries.
 		seeds = campaign.QuickSeeds()
 	}
+	// Validate the policy axis early so a typo answers with the valid
+	// names instead of a queued campaign that fails at its first job.
+	for _, pol := range body.Policies {
+		if pol == "" {
+			continue
+		}
+		if _, err := mode.Parse(pol); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	spec, err := campaign.Named(body.Name, body.Workloads, seeds)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if len(body.Policies) > 0 {
+		spec.Policies = body.Policies
 	}
 	jobs, err := spec.Expand()
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/mode"
 )
 
 // micro is a submit body small enough for tests: one workload, one
@@ -483,5 +484,81 @@ func TestReliaCampaignViaService(t *testing.T) {
 	_, res2 := do(t, http.MethodGet, ts.URL+"/campaigns/"+st2.ID+"/results", "")
 	if !bytes.Equal(res, res2) {
 		t.Fatal("relia results not byte-identical across cache-warm reruns")
+	}
+}
+
+// TestCatalogExposesPolicyAxis: GET /catalog lists the registered mode
+// policies and the policy campaign's swept axis.
+func TestCatalogExposesPolicyAxis(t *testing.T) {
+	ts := testService(t)
+	code, data := do(t, http.MethodGet, ts.URL+"/catalog", "")
+	if code != http.StatusOK {
+		t.Fatalf("catalog: %d", code)
+	}
+	var doc struct {
+		Policies  []string        `json:"policies"`
+		Campaigns []campaign.Axes `json:"campaigns"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("catalog body: %v\n%s", err, data)
+	}
+	for _, want := range mode.Names() {
+		found := false
+		for _, p := range doc.Policies {
+			found = found || p == want
+		}
+		if !found {
+			t.Fatalf("catalog policies %v missing %q", doc.Policies, want)
+		}
+	}
+	for _, ax := range doc.Campaigns {
+		if ax.Name != "policy" {
+			continue
+		}
+		if len(ax.Policies) < 4 { // static + three dynamic policies
+			t.Fatalf("policy campaign axes incomplete: %+v", ax)
+		}
+		return
+	}
+	t.Fatal("policy campaign missing from catalog")
+}
+
+// TestSubmitRejectsUnknownPolicy: a submission naming an unregistered
+// policy answers 400 and the error lists the valid names.
+func TestSubmitRejectsUnknownPolicy(t *testing.T) {
+	ts := testService(t)
+	code, data := do(t, http.MethodPost, ts.URL+"/campaigns",
+		`{"name":"table2","policies":["warp-drive"]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown policy: code %d, want 400 (%s)", code, data)
+	}
+	for _, want := range mode.Names() {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Fatalf("error should list valid policy %q: %s", want, data)
+		}
+	}
+}
+
+// TestSubmitWithPolicyAxis: the policies override multiplies the
+// campaign's cells and the dynamic cells land under pol= keys.
+func TestSubmitWithPolicyAxis(t *testing.T) {
+	ts := testService(t)
+	body := `{"name":"table2","scale":"quick",` +
+		`"warmup":30000,"measure":60000,"timeslice":20000,` +
+		`"workloads":["apache"],"seeds":[11],` +
+		`"policies":["static","duty-cycle"]}`
+	st := submitAndWait(t, ts, body)
+	if st.Status != "done" {
+		t.Fatalf("policy-axis campaign: %+v", st)
+	}
+	if st.Jobs != 2 {
+		t.Fatalf("expected 2 jobs (static + duty-cycle), got %d", st.Jobs)
+	}
+	code, res := do(t, http.MethodGet, ts.URL+"/campaigns/"+st.ID+"/results", "")
+	if code != http.StatusOK {
+		t.Fatalf("results: %d", code)
+	}
+	if !bytes.Contains(res, []byte("pol=duty-cycle")) {
+		t.Fatalf("dynamic cell missing from rows: %s", res)
 	}
 }

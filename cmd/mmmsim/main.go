@@ -17,23 +17,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/mode"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
-var kindNames = map[string]core.Kind{
-	"no-dmr-2x": core.KindNoDMR2X,
-	"no-dmr":    core.KindNoDMR,
-	"reunion":   core.KindReunion,
-	"dmr-base":  core.KindDMRBase,
-	"mmm-ipc":   core.KindMMMIPC,
-	"mmm-tp":    core.KindMMMTP,
-	"single-os": core.KindSingleOS,
-}
-
 func main() {
 	var (
 		system    = flag.String("system", "mmm-tp", "system configuration (no-dmr-2x, no-dmr, reunion, dmr-base, mmm-ipc, mmm-tp, single-os)")
+		policy    = flag.String("policy", "", "runtime mode policy (static, utilization, duty-cycle[:period[:duty%]], fault-escalation[:decay]); empty = static")
 		wlName    = flag.String("workload", "apache", "workload model (apache, oltp, pgoltp, pmake, pgbench, zeus)")
 		seed      = flag.Uint64("seed", 11, "random seed")
 		warmup    = flag.Uint64("warmup", 800_000, "warmup cycles")
@@ -46,9 +38,13 @@ func main() {
 	)
 	flag.Parse()
 
-	kind, ok := kindNames[strings.ToLower(*system)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "mmmsim: unknown system %q\n", *system)
+	kind, err := core.ParseKind(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmmsim:", err)
+		os.Exit(2)
+	}
+	if _, err := mode.Parse(*policy); err != nil {
+		fmt.Fprintln(os.Stderr, "mmmsim:", err)
 		os.Exit(2)
 	}
 	wl, err := workload.ByName(strings.ToLower(*wlName))
@@ -62,6 +58,7 @@ func main() {
 	opts := core.Options{
 		Cfg:         cfg,
 		Kind:        kind,
+		Policy:      *policy,
 		Workload:    wl,
 		Seed:        *seed,
 		PABDisabled: *noPAB,
@@ -75,7 +72,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("system=%s workload=%s seed=%d cycles=%d\n", kind, wl.Name, *seed, m.Cycles)
+	polName := *policy
+	if polName == "" {
+		polName = "static"
+	}
+	fmt.Printf("system=%s policy=%s workload=%s seed=%d cycles=%d\n", kind, polName, wl.Name, *seed, m.Cycles)
 	for _, b := range []string{"app", "apps", "reliable", "perf"} {
 		if n := m.GuestVCPUs[b]; n > 0 {
 			fmt.Printf("  %-9s vcpus=%-3d user-commits=%-12d per-thread user IPC=%.4f\n",

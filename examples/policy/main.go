@@ -1,0 +1,77 @@
+// Mode policies: the paper's point is that reliability modes are a
+// *runtime* decision — core pairs couple into DMR and decouple back to
+// performance mode while the system runs. This example puts the
+// mixed-mode server (MMM-IPC roster) under each registered dynamic
+// coupling policy, with and without fault injection, and prints what
+// the policy traded: guest IPC against the static schedule, mode
+// switches paid, and the protection activity (fingerprint detections,
+// machine checks) its DMR windows still caught.
+//
+//	go run ./examples/policy [-workload apache] [-fault-interval 40000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mode"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	wlName := flag.String("workload", "apache", "workload model")
+	faults := flag.Float64("fault-interval", 15_000, "mean cycles between injected faults (0 = none)")
+	measure := flag.Uint64("measure", 800_000, "measurement cycles per run")
+	flag.Parse()
+
+	wl, err := workload.ByName(*wlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(policy string) core.Metrics {
+		cfg := sim.DefaultConfig()
+		cfg.TimesliceCycles = 250_000
+		opts := core.Options{
+			Cfg: cfg, Kind: core.KindMMMIPC, Policy: policy,
+			Workload: wl, Seed: 11,
+		}
+		if *faults > 0 {
+			opts.FaultPlan = &fault.Plan{MeanInterval: *faults}
+		}
+		m, err := core.RunSystem(opts, 300_000, sim.Cycle(*measure))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+
+	base := run("") // the static default every policy is judged against
+	table := &stats.Table{
+		Title: fmt.Sprintf("Dynamic coupling policies on MMM-IPC (%s, faults every %.0f cycles)", *wlName, *faults),
+		Columns: []string{"policy", "rel IPC vs static", "perf IPC vs static",
+			"enter", "leave", "FP detections", "machine checks"},
+	}
+	table.AddRow("static", "1.00", "1.00",
+		fmt.Sprint(base.EnterN), fmt.Sprint(base.LeaveN),
+		fmt.Sprint(base.Mismatches), fmt.Sprint(base.MachineChecks))
+	for _, policy := range mode.Dynamic() {
+		m := run(policy)
+		table.AddRow(policy,
+			fmt.Sprintf("%.2f", stats.Ratio(m.UserIPC("reliable"), base.UserIPC("reliable"))),
+			fmt.Sprintf("%.2f", stats.Ratio(m.UserIPC("perf"), base.UserIPC("perf"))),
+			fmt.Sprint(m.EnterN), fmt.Sprint(m.LeaveN),
+			fmt.Sprint(m.Mismatches), fmt.Sprint(m.MachineChecks))
+		fmt.Printf("finished %s\n", policy)
+	}
+	fmt.Println()
+	fmt.Println(table)
+	fmt.Println("Expected shape: duty-cycle pays the most switches; fault-escalation")
+	fmt.Println("stays near static IPC while converting protection events into DMR")
+	fmt.Println("windows (detections rise with the fault rate); utilization decouples")
+	fmt.Println("busy pairs, trading reliable-guest redundancy for performance.")
+}

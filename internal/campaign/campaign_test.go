@@ -280,3 +280,166 @@ func TestCountingCache(t *testing.T) {
 		t.Fatalf("stats = %d/%d/%d, want 1/1/1", hits, misses, puts)
 	}
 }
+
+func TestPolicyAxisExpand(t *testing.T) {
+	spec := Spec{
+		Name:      "t",
+		Kinds:     []core.Kind{core.KindMMMIPC},
+		Workloads: []string{"apache"},
+		Seeds:     []uint64{11},
+		Policies:  []string{"static", "duty-cycle:60000:25", "fault-escalation"},
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "static" normalizes to the "" default cell and the parameterized
+	// duty-cycle spec canonicalizes to its default name.
+	want := []string{"", "duty-cycle", "fault-escalation"}
+	if len(jobs) != len(want) {
+		t.Fatalf("expanded %d jobs, want %d: %+v", len(jobs), len(want), jobs)
+	}
+	for i, j := range jobs {
+		if j.Knobs.Policy != want[i] {
+			t.Errorf("job %d policy %q, want %q", i, j.Knobs.Policy, want[i])
+		}
+	}
+	// The policy is its own key segment and fingerprint input.
+	if jobs[0].Key() != "apache/MMM-IPC" {
+		t.Errorf("default cell key = %q", jobs[0].Key())
+	}
+	if jobs[1].Key() != "apache/MMM-IPC/pol=duty-cycle" {
+		t.Errorf("policy cell key = %q", jobs[1].Key())
+	}
+	if jobs[0].Fingerprint(microScale()) == jobs[1].Fingerprint(microScale()) {
+		t.Error("policy not part of the fingerprint")
+	}
+	if jobs[0].SimSeed() == jobs[1].SimSeed() {
+		t.Error("policy cells share a random stream")
+	}
+
+	// Unknown policies are rejected at expansion.
+	bad := spec
+	bad.Policies = []string{"warp-drive"}
+	if _, err := bad.Expand(); err == nil {
+		t.Fatal("unknown policy expanded")
+	}
+
+	// The axis multiplies explicit job lists too.
+	explicit := Spec{
+		Name:     "t2",
+		Jobs:     []Job{{Workload: "apache", Kind: core.KindReunion, Seed: 11}},
+		Policies: []string{"", "utilization"},
+	}
+	jobs, err = explicit.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[1].Knobs.Policy != "utilization" {
+		t.Fatalf("explicit-jobs axis: %+v", jobs)
+	}
+}
+
+func TestPolicyCampaignRegistered(t *testing.T) {
+	spec, err := Named("policy", []string{"apache"}, []uint64{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 variants x (static + every dynamic policy) x 1 workload x 1 seed.
+	if want := 2 * 4; len(jobs) != want {
+		t.Fatalf("policy campaign expands to %d jobs, want %d", len(jobs), want)
+	}
+	// The relia campaign carries the adaptive modes' policies.
+	spec, err = Named("relia", []string{"apache"}, []uint64{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err = spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := 0
+	for _, j := range jobs {
+		if j.Knobs.Policy != "" {
+			adaptive++
+		}
+	}
+	if adaptive == 0 {
+		t.Fatal("relia campaign has no adaptive-policy cells")
+	}
+}
+
+func TestPolicyAxisPreservesPresetPolicies(t *testing.T) {
+	// An operator-supplied policy axis must never rewrite cells whose
+	// policy is part of their identity: relia's adaptive modes would
+	// otherwise emit rows labeled fault-escalation/duty-cycle while
+	// simulating something else.
+	spec, err := Named("relia", []string{"apache"}, []uint64{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Policies = []string{"static"}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := map[string]string{}
+	for _, j := range jobs {
+		byVariant[j.Variant] = j.Knobs.Policy
+	}
+	for variant, pol := range byVariant {
+		switch {
+		case strings.HasPrefix(variant, "adaptive-"):
+			if pol != "fault-escalation" {
+				t.Errorf("adaptive cell %q rewritten to policy %q", variant, pol)
+			}
+		case strings.HasPrefix(variant, "duty-"):
+			if pol != "duty-cycle" {
+				t.Errorf("duty cell %q rewritten to policy %q", variant, pol)
+			}
+		default:
+			if pol != "" {
+				t.Errorf("static-mode cell %q gained policy %q", variant, pol)
+			}
+		}
+	}
+}
+
+func TestPolicyCampaignBaselineSharesFigure6Cells(t *testing.T) {
+	// The policy campaign's fault-free static cells must be figure6's
+	// MMM-IPC cells — same fingerprint, same cache entry — so the
+	// design study never re-simulates the baseline it normalizes to.
+	polSpec, err := Named("policy", []string{"apache"}, []uint64{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	polJobs, err := polSpec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	figSpec, err := Named("figure6", []string{"apache"}, []uint64{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	figJobs, err := figSpec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	figFPs := map[string]bool{}
+	for _, j := range figJobs {
+		figFPs[j.Fingerprint(microScale())] = true
+	}
+	shared := 0
+	for _, j := range polJobs {
+		if figFPs[j.Fingerprint(microScale())] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("policy campaign's static baseline shares no cells with figure6")
+	}
+}

@@ -191,7 +191,9 @@ func runJob(sc Scale, j Job, scratch *cache.Recycler) (core.Metrics, error) {
 		Kind:        j.Kind,
 		Workload:    wl,
 		Seed:        j.SimSeed(),
+		Policy:      j.Knobs.Policy,
 		PABDisabled: j.Knobs.PABDisabled,
+		ForcePAB:    j.Knobs.ForcePAB,
 		Recycler:    scratch,
 	}
 	if j.Knobs.FaultInterval > 0 {
@@ -237,6 +239,7 @@ func runReliaJob(sc Scale, j Job, wl *workload.Params, scratch *cache.Recycler) 
 			Kind:         j.Kind,
 			Workload:     wl,
 			Config:       cfg,
+			Policy:       j.Knobs.Policy,
 			Seed:         j.SimSeed(),
 			Kinds:        parseFaultKinds(j.Knobs.FaultKinds),
 			MeanInterval: j.Knobs.FaultInterval,

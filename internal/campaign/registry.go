@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/mode"
 	"repro/internal/workload"
 )
 
@@ -122,6 +123,26 @@ var builders = map[string]func(workloads []string, seeds []uint64) Spec{
 		// trials classified by internal/relia.
 		return Spec{Name: "relia", Jobs: ReliaJobs(wls, seeds, nil, 0)}
 	},
+	"policy": func(wls []string, seeds []uint64) Spec {
+		// The mode-policy design study: the consolidated mixed-mode
+		// server swept over the dynamic coupling policies, fault-free
+		// and under fault injection (the fault-escalation policy is
+		// inert without protection events to react to). The fault-free
+		// cells carry no variant label, so the static baseline is the
+		// same cell — same fingerprint, same cache entry — as
+		// figure6's MMM-IPC column.
+		return Spec{
+			Name:      "policy",
+			Kinds:     []core.Kind{core.KindMMMIPC},
+			Workloads: wls,
+			Seeds:     seeds,
+			Variants: []Variant{
+				{},
+				{Name: "faulty", Knobs: Knobs{FaultInterval: 40_000}},
+			},
+			Policies: append([]string{""}, mode.Dynamic()...),
+		}
+	},
 }
 
 // ReliaMode is one protection mode of the reliability sweep: the
@@ -130,19 +151,29 @@ type ReliaMode struct {
 	Name     string
 	Kind     core.Kind
 	ForcePAB bool
+	// Policy, when non-empty, runs the mode under a dynamic coupling
+	// policy instead of the kind's static plans.
+	Policy string
 }
 
 // ReliaModes lists the swept protection modes in canonical order:
 // pure performance mode (every VCPU unprotected, stores PAB-guarded),
-// full DMR, the consolidated mixed-mode server, and the single-OS
-// system whose per-trap Enter-DMR exercises the privileged-register
-// verification.
+// full DMR, the consolidated mixed-mode server, the single-OS system
+// whose per-trap Enter-DMR exercises the privileged-register
+// verification, and two adaptive modes — fault-escalation on the
+// mixed-mode server (pairs couple after a protection event and decay
+// back) and duty-cycle scrubbing on the full-DMR roster (pairs spend
+// only the duty fraction coupled, trading SDC exposure for
+// performance). The adaptive coverage/SDC rows are the policy
+// refactor's paper-payoff result.
 func ReliaModes() []ReliaMode {
 	return []ReliaMode{
 		{Name: "performance", Kind: core.KindNoDMR2X, ForcePAB: true},
 		{Name: "dmr", Kind: core.KindReunion},
 		{Name: "mixed", Kind: core.KindMMMIPC},
 		{Name: "singleos", Kind: core.KindSingleOS},
+		{Name: "adaptive", Kind: core.KindMMMIPC, Policy: "fault-escalation"},
+		{Name: "duty", Kind: core.KindReunion, Policy: "duty-cycle"},
 	}
 }
 
@@ -181,18 +212,19 @@ func ReliaJobs(workloads []string, seeds []uint64, rates []float64, trials int) 
 	}
 	var jobs []Job
 	for _, wl := range workloads {
-		for _, mode := range ReliaModes() {
+		for _, m := range ReliaModes() {
 			for _, rate := range rates {
 				for _, seed := range seeds {
 					jobs = append(jobs, Job{
 						Workload: wl,
-						Kind:     mode.Kind,
+						Kind:     m.Kind,
 						Seed:     seed,
-						Variant:  ReliaVariant(mode.Name, rate),
+						Variant:  ReliaVariant(m.Name, rate),
 						Knobs: Knobs{
 							FaultInterval: rate,
 							ReliaTrials:   trials,
-							ForcePAB:      mode.ForcePAB,
+							ForcePAB:      m.ForcePAB,
+							Policy:        m.Policy,
 						},
 					})
 				}
@@ -254,10 +286,13 @@ func Names() []string {
 // default axes, so operators can discover what a campaign runs without
 // reading source (served by mmmd's catalog endpoint).
 type Axes struct {
-	Name        string   `json:"name"`
-	Kinds       []string `json:"kinds"`
-	Workloads   []string `json:"workloads"`
-	Variants    []string `json:"variants,omitempty"`
+	Name      string   `json:"name"`
+	Kinds     []string `json:"kinds"`
+	Workloads []string `json:"workloads"`
+	Variants  []string `json:"variants,omitempty"`
+	// Policies lists the distinct mode policies the campaign's default
+	// expansion sweeps ("static" stands for the default cells).
+	Policies    []string `json:"policies,omitempty"`
 	Seeds       []uint64 `json:"seeds"`
 	Jobs        int      `json:"jobs"`
 	Reliability bool     `json:"reliability,omitempty"`
@@ -281,6 +316,7 @@ func Catalog() []Axes {
 		kinds := map[string]bool{}
 		wls := map[string]bool{}
 		variants := map[string]bool{}
+		policies := map[string]bool{}
 		seeds := map[uint64]bool{}
 		for _, j := range jobs {
 			kinds[j.Kind.String()] = true
@@ -288,6 +324,11 @@ func Catalog() []Axes {
 			if j.Variant != "" {
 				variants[j.Variant] = true
 			}
+			pol := j.Knobs.Policy
+			if pol == "" {
+				pol = "static"
+			}
+			policies[pol] = true
 			seeds[j.Seed] = true
 			if j.Knobs.ReliaTrials > 0 {
 				ax.Reliability = true
@@ -302,12 +343,18 @@ func Catalog() []Axes {
 		for v := range variants {
 			ax.Variants = append(ax.Variants, v)
 		}
+		if len(policies) > 1 || !policies["static"] {
+			for p := range policies {
+				ax.Policies = append(ax.Policies, p)
+			}
+		}
 		for s := range seeds {
 			ax.Seeds = append(ax.Seeds, s)
 		}
 		sort.Strings(ax.Kinds)
 		sort.Strings(ax.Workloads)
 		sort.Strings(ax.Variants)
+		sort.Strings(ax.Policies)
 		sort.Slice(ax.Seeds, func(i, j int) bool { return ax.Seeds[i] < ax.Seeds[j] })
 		out = append(out, ax)
 	}

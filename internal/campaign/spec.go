@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/mode"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -28,7 +29,12 @@ import (
 // v3: Metrics.FaultsInjected is rebased at ResetMeasurement and now
 // counts only measurement-window injections; cached v2 metrics for
 // fault-injection cells include warmup faults and are invalid.
-const SpecVersion = 3
+//
+// v4: the runtime mode-policy axis exists (Knobs.Policy, folded into
+// the fingerprint). Static-policy results are byte-identical to v3 —
+// the golden-row regression pins that — but the fingerprint input
+// set changed, so cached v3 entries are re-keyed, not reinterpreted.
+const SpecVersion = 4
 
 // Scale sets the simulation windows shared by every job of a campaign.
 type Scale struct {
@@ -67,6 +73,12 @@ type Knobs struct {
 	// kinds that do not enable it by default (the pure
 	// performance-mode protection scenario).
 	ForcePAB bool `json:"force_pab,omitempty"`
+	// Policy names the runtime mode policy (internal/mode) deciding
+	// when core pairs couple into DMR and decouple back to performance
+	// mode: "" or "static" for the kind's pre-built behavior, or a
+	// dynamic policy spec such as "utilization", "duty-cycle:60000:25"
+	// or "fault-escalation". Expand canonicalizes and validates it.
+	Policy string `json:"policy,omitempty"`
 }
 
 // apply mutates a sim.Config according to the knobs. PABDisabled and
@@ -103,19 +115,29 @@ type Job struct {
 }
 
 // Key is the aggregation key of the job's cell: runs differing only in
-// seed share a key and fold into one stats.Sample.
+// seed share a key and fold into one stats.Sample. A non-default mode
+// policy is its own key segment, so a policy sweep's cells never fold
+// into the static baseline's.
 func (j Job) Key() string {
-	if j.Variant == "" {
-		return fmt.Sprintf("%s/%s", j.Workload, j.Kind)
+	k := fmt.Sprintf("%s/%s", j.Workload, j.Kind)
+	if j.Variant != "" {
+		k += "/" + j.Variant
 	}
-	return fmt.Sprintf("%s/%s/%s", j.Workload, j.Kind, j.Variant)
+	if j.Knobs.Policy != "" {
+		k += "/pol=" + j.Knobs.Policy
+	}
+	return k
 }
 
 // SimSeed derives the seed handed to the simulator. Mixing the cell
 // labels in decorrelates the random streams of different cells that
 // declare the same seed, and is stable across processes, so cached
-// results remain valid.
+// results remain valid. The policy label is folded in only when set,
+// so every pre-policy cell keeps its historical stream.
 func (j Job) SimSeed() uint64 {
+	if j.Knobs.Policy != "" {
+		return sim.DeriveSeed(j.Seed, j.Workload, j.Kind.String(), j.Variant, j.Knobs.Policy)
+	}
 	return sim.DeriveSeed(j.Seed, j.Workload, j.Kind.String(), j.Variant)
 }
 
@@ -125,12 +147,13 @@ func (j Job) SimSeed() uint64 {
 func (j Job) Fingerprint(sc Scale) string {
 	h := sha256.New()
 	fmt.Fprintf(h,
-		"v%d|warm=%d|meas=%d|slice=%d|wl=%s|kind=%s|seed=%d|var=%s|pabser=%t|pabdis=%t|tso=%t|flush=%d|fault=%g|fkinds=%s|rtrials=%d|fpab=%t",
+		"v%d|warm=%d|meas=%d|slice=%d|wl=%s|kind=%s|seed=%d|var=%s|pabser=%t|pabdis=%t|tso=%t|flush=%d|fault=%g|fkinds=%s|rtrials=%d|fpab=%t|policy=%s",
 		SpecVersion, sc.Warmup, sc.Measure, sc.Timeslice,
 		j.Workload, j.Kind, j.Seed, j.Variant,
 		j.Knobs.PABSerial, j.Knobs.PABDisabled, j.Knobs.TSO,
 		j.Knobs.FlushPerCycle, j.Knobs.FaultInterval,
-		j.Knobs.FaultKinds, j.Knobs.ReliaTrials, j.Knobs.ForcePAB)
+		j.Knobs.FaultKinds, j.Knobs.ReliaTrials, j.Knobs.ForcePAB,
+		j.Knobs.Policy)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -143,6 +166,13 @@ type Spec struct {
 	Workloads []string    `json:"workloads,omitempty"`
 	Seeds     []uint64    `json:"seeds,omitempty"`
 	Variants  []Variant   `json:"variants,omitempty"`
+	// Policies is the mode-policy axis: each entry crosses the sweep
+	// with Knobs.Policy set to it ("" = the kind's static default).
+	// Empty means the single default policy. The axis also applies to
+	// explicit Jobs lists, multiplying the jobs that do not already
+	// fix their own policy (jobs that do, like relia's adaptive-mode
+	// cells, keep it — the policy is part of what their labels mean).
+	Policies []string `json:"policies,omitempty"`
 	// Jobs, when non-empty, bypasses the cross-product and is used
 	// verbatim (still validated and deduplicated by Expand).
 	Jobs []Job `json:"jobs,omitempty"`
@@ -154,7 +184,7 @@ type Spec struct {
 // two-seed default, and the single default variant.
 func (s Spec) Expand() ([]Job, error) {
 	if len(s.Jobs) > 0 {
-		return dedupe(s.Jobs)
+		return dedupe(applyPolicies(s.Jobs, s.Policies))
 	}
 	if len(s.Kinds) == 0 {
 		return nil, fmt.Errorf("campaign: spec %q has no kinds and no explicit jobs", s.Name)
@@ -171,18 +201,28 @@ func (s Spec) Expand() ([]Job, error) {
 	if len(variants) == 0 {
 		variants = []Variant{{}}
 	}
+	policies := s.Policies
+	if len(policies) == 0 {
+		policies = []string{""}
+	}
 	var jobs []Job
 	for _, wl := range wls {
 		for _, k := range s.Kinds {
 			for _, v := range variants {
-				for _, seed := range seeds {
-					jobs = append(jobs, Job{
-						Workload: wl,
-						Kind:     k,
-						Seed:     seed,
-						Variant:  v.Name,
-						Knobs:    v.Knobs,
-					})
+				for _, pol := range policies {
+					for _, seed := range seeds {
+						knobs := v.Knobs
+						if pol != "" {
+							knobs.Policy = pol
+						}
+						jobs = append(jobs, Job{
+							Workload: wl,
+							Kind:     k,
+							Seed:     seed,
+							Variant:  v.Name,
+							Knobs:    knobs,
+						})
+					}
 				}
 			}
 		}
@@ -190,14 +230,50 @@ func (s Spec) Expand() ([]Job, error) {
 	return dedupe(jobs)
 }
 
-// dedupe validates workload names and drops exact duplicate jobs while
-// preserving order.
+// applyPolicies crosses an explicit job list with the policy axis.
+// Jobs whose policy is part of their identity (relia's adaptive
+// modes preset Knobs.Policy) are never overwritten — their variant
+// labels name the policy they run, so rewriting it would emit rows
+// claiming one policy while simulating another; they pass through
+// once per axis entry and dedupe collapses the copies.
+func applyPolicies(jobs []Job, policies []string) []Job {
+	if len(policies) == 0 {
+		return jobs
+	}
+	out := make([]Job, 0, len(jobs)*len(policies))
+	for _, pol := range policies {
+		for _, j := range jobs {
+			if pol != "" && j.Knobs.Policy == "" {
+				j.Knobs.Policy = pol
+			}
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// dedupe validates workload and policy names — canonicalizing policy
+// specs, so "duty-cycle:60000:25" and "duty-cycle" land in the same
+// cell — and drops exact duplicate jobs while preserving order.
 func dedupe(jobs []Job) ([]Job, error) {
 	seen := make(map[Job]struct{}, len(jobs))
 	out := jobs[:0:0]
 	for _, j := range jobs {
 		if _, err := workload.ByName(j.Workload); err != nil {
 			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		if j.Knobs.Policy != "" {
+			canon, err := mode.Parse(j.Knobs.Policy)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: %w", err)
+			}
+			if canon == "static" {
+				// An explicit static policy is the default behavior;
+				// normalize to the default cell so it shares the
+				// baseline's cache entry instead of re-simulating it.
+				canon = ""
+			}
+			j.Knobs.Policy = canon
 		}
 		if _, ok := seen[j]; ok {
 			continue

@@ -14,6 +14,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/fault"
+	"repro/internal/mode"
 	"repro/internal/pab"
 	"repro/internal/paging"
 	"repro/internal/reunion"
@@ -99,13 +100,26 @@ type Chip struct {
 	PABs  []*pab.PAB
 
 	Guests []*sched.Guest
-	Gang   *sched.Gang
 	groups []plan
 
 	Now sim.Cycle
 
 	curPlan []pairPlan
 	trans   []*transition
+
+	// Mode-policy seam (internal/mode, driver in policy.go): the
+	// policy decides at scheduling boundaries what every pair runs;
+	// polNextAt caches its timer horizon for the event-horizon run
+	// loop; curAsg tracks each pair's target assignment; the polLast*
+	// fields window the per-pair commit deltas between decisions.
+	policy         mode.Policy
+	polNextAt      sim.Cycle
+	polWantsFaults bool
+	curAsg         []mode.Assignment
+	polStatus      []mode.PairStatus
+	polLastCommits []uint64
+	polLastAt      sim.Cycle
+	groupSwitches  uint64
 
 	// Hot-path scheduling state. active lists, in core-ID order, the
 	// cores that currently have an instruction stream; parked cores
@@ -173,6 +187,10 @@ func newChip(cfg *sim.Config, kind Kind, rec *cache.Recycler) *Chip {
 	c.Eng = vcpu.NewEngine(cfg)
 	c.curPlan = make([]pairPlan, cfg.Cores/2)
 	c.trans = make([]*transition, cfg.Cores/2)
+	c.curAsg = make([]mode.Assignment, cfg.Cores/2)
+	c.polStatus = make([]mode.PairStatus, cfg.Cores/2)
+	c.polLastCommits = make([]uint64, cfg.Cores)
+	c.polNextAt = sim.Never
 	c.active = make([]*cpu.Core, 0, cfg.Cores)
 	c.coreIdle = make([]bool, cfg.Cores)
 	c.idleSince = make([]sim.Cycle, cfg.Cores)
@@ -196,10 +214,8 @@ func newChip(cfg *sim.Config, kind Kind, rec *cache.Recycler) *Chip {
 // to ticking every core unconditionally.
 func (c *Chip) Tick() {
 	now := c.Now
-	if c.Gang != nil {
-		if g, due := c.Gang.Due(now); due {
-			c.startGroupSwitch(g, now)
-		}
+	if c.policy != nil && now >= c.polNextAt {
+		c.policyDecide(mode.Event{Kind: mode.EvTimer, Pair: -1, Cycle: now})
 	}
 	if c.transCount > 0 {
 		for p := range c.trans {
@@ -260,10 +276,8 @@ func (c *Chip) Run(n sim.Cycle) {
 // completion is detected by polling the pipelines.
 func (c *Chip) nextEventAt(end sim.Cycle) sim.Cycle {
 	h := end
-	if c.Gang != nil {
-		if t := c.Gang.NextEventAt(); t < h {
-			h = t
-		}
+	if c.policy != nil && c.polNextAt < h {
+		h = c.polNextAt
 	}
 	if c.Injector != nil {
 		if t := c.Injector.NextEventAt(); t < h {
@@ -379,6 +393,12 @@ func (c *Chip) ResetMeasurement() {
 	c.ctxN, c.ctxCycles = 0, 0
 	c.machineChecks = 0
 	c.Eng.VerifyFailures = 0
+	// Rebase the policy's utilization windows onto the zeroed commit
+	// counters so the next decision's deltas stay well-formed.
+	for i := range c.polLastCommits {
+		c.polLastCommits[i] = 0
+	}
+	c.polLastAt = c.Now
 	// Rebase the injector tally: warmup-window faults stay injected (the
 	// corrupted state is real), but the measured FaultsInjected metric
 	// must cover only the measurement window.

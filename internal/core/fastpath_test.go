@@ -61,6 +61,55 @@ func TestRunMatchesTickPerCycle(t *testing.T) {
 	}
 }
 
+// TestRunMatchesTickDynamicPolicies repeats the equivalence check for
+// every dynamic mode policy, with fault injection active so the
+// fault-escalation path (policy decisions fired from inside a core's
+// Tick, mid-bulk-step) is exercised, and on SingleOS so policy timers
+// race the trap hooks' transitions (the transDirty path).
+func TestRunMatchesTickDynamicPolicies(t *testing.T) {
+	const warmup, measure = 30_000, 90_000
+	for _, kind := range []Kind{KindReunion, KindMMMIPC, KindMMMTP, KindSingleOS} {
+		for _, pol := range []string{"utilization", "duty-cycle", "fault-escalation"} {
+			t.Run(kind.String()+"/"+pol, func(t *testing.T) {
+				build := func() *Chip {
+					wl, err := workload.ByName("apache")
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := sim.DefaultConfig()
+					cfg.TimesliceCycles = 15_000
+					chip, err := NewSystem(Options{
+						Cfg: cfg, Kind: kind, Workload: wl, Seed: 11, Policy: pol,
+						FaultPlan: &fault.Plan{MeanInterval: 3_000, Seed: 5},
+						ForcePAB:  true,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return chip
+				}
+				fast := build()
+				mFast := fast.Measure(warmup, measure)
+
+				slow := build()
+				for i := 0; i < warmup; i++ {
+					slow.Tick()
+				}
+				slow.ResetMeasurement()
+				start := slow.Now
+				for i := 0; i < measure; i++ {
+					slow.Tick()
+				}
+				mSlow := slow.Collect(slow.Now - start)
+
+				if !reflect.DeepEqual(mFast, mSlow) {
+					t.Errorf("dynamic-policy fast path diverged:\nfast: %+v\nslow: %+v", mFast, mSlow)
+				}
+			})
+		}
+	}
+}
+
 // TestRunMatchesTickUnderFaultInjection repeats the equivalence check
 // with the fault injector active, covering the injector's event-horizon
 // path (including multi-fault catch-up at one cycle).

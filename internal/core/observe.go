@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/cpu"
+	"repro/internal/mode"
 	"repro/internal/sim"
 )
 
@@ -71,10 +72,20 @@ func (c *Chip) SetFaultObserver(fn func(FaultEvent)) {
 	c.onFaultEvent = fn
 }
 
-// emitFault reports an event to the observer, if any.
+// emitFault reports an event to the observer, if any, and forwards
+// the protection events a fault-sensitive mode policy subscribes to
+// (machine checks and PAB exceptions; see policy.go).
 func (c *Chip) emitFault(ev FaultEvent) {
 	if c.onFaultEvent != nil {
 		c.onFaultEvent(ev)
+	}
+	if c.polWantsFaults {
+		switch ev.Kind {
+		case EvUnrecoverable:
+			c.policyFault(mode.EvMachineCheck, ev.Core/2, ev.Cycle)
+		case EvPABException:
+			c.policyFault(mode.EvPABException, ev.Core/2, ev.Cycle)
+		}
 	}
 }
 

@@ -21,6 +21,12 @@ type Options struct {
 	Kind Kind
 	// Workload is the application model run by every guest.
 	Workload *workload.Params
+	// Policy names the runtime mode policy (internal/mode) that decides
+	// when pairs couple into DMR and decouple back to performance mode.
+	// Empty selects "static": the kind's pre-built plans, rotated at
+	// gang timeslice boundaries, byte-identical to the pre-policy
+	// implementation.
+	Policy string
 	// Seed makes the run reproducible; different seeds give the
 	// independent runs behind the confidence intervals.
 	Seed uint64
@@ -151,7 +157,6 @@ func NewSystem(opts Options) (*Chip, error) {
 			}
 		}
 		c.groups = []plan{rPlan, pPlan}
-		c.Gang = sched.NewGang(cfg.TimesliceCycles, 2)
 
 	case KindSingleOS:
 		g, err := mk("apps", pairs, vcpu.ModePerfUser, 0x2a)
@@ -193,9 +198,12 @@ func NewSystem(opts Options) (*Chip, error) {
 		c.Injector = fault.NewInjector(fp)
 	}
 
-	// Apply the initial mapping directly (no transition cost at t=0).
-	for pi, pl := range c.groups[0] {
-		c.applyPlan(pi, pl, false)
+	// Arm the mode policy and apply its initial mapping directly (no
+	// transition cost at t=0). The static policy reproduces the
+	// pre-policy behavior: group 0 everywhere, rotation at timeslice
+	// boundaries on multi-group (consolidated) rosters.
+	if err := c.installPolicy(opts.Policy); err != nil {
+		return nil, err
 	}
 	return c, nil
 }

@@ -59,18 +59,6 @@ func (c *Chip) startTransition(pi int, next pairPlan, suppressHook bool, now sim
 	c.Cores[2*pi+1].HoldFetch()
 }
 
-// startGroupSwitch begins the gang-scheduled guest switch on every
-// pair (consolidated server: transitions happen at timeslice
-// boundaries).
-func (c *Chip) startGroupSwitch(group int, now sim.Cycle) {
-	for pi := range c.trans {
-		if c.trans[pi] != nil {
-			continue // pair already switching; plan applied next slice
-		}
-		c.startTransition(pi, c.groups[group][pi], false, now)
-	}
-}
-
 // stepTransition advances one pair's switch.
 func (c *Chip) stepTransition(pi int, now sim.Cycle) {
 	tr := c.trans[pi]

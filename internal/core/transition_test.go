@@ -37,8 +37,8 @@ func TestGangSwitchCompletes(t *testing.T) {
 		// Run through several boundaries.
 		chip.Run(4 * chip.Cfg.TimesliceCycles)
 		drainAll(t, chip, 100_000)
-		if chip.Gang.Switches < 3 {
-			t.Errorf("%v: only %d gang switches", kind, chip.Gang.Switches)
+		if chip.GroupSwitches() < 3 {
+			t.Errorf("%v: only %d gang switches", kind, chip.GroupSwitches())
 		}
 	}
 }

@@ -33,6 +33,12 @@ type Config struct {
 	// empty means all six.
 	Workloads []string
 
+	// Policies restricts the mode-policy axis of the policy study;
+	// empty means the static baseline plus every registered dynamic
+	// policy. Entries are policy specs (internal/mode), "" meaning the
+	// static default.
+	Policies []string
+
 	// Cache, when non-nil, serves repeated jobs from the campaign
 	// result cache instead of re-simulating.
 	Cache campaign.Cache

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/mode"
 )
 
 // testCache is shared by every test config: experiments that revisit a
@@ -215,5 +216,48 @@ func TestReliabilityStudyShape(t *testing.T) {
 	}
 	if ReliabilityTable(rows).String() == "" {
 		t.Fatal("table renders empty")
+	}
+}
+
+func TestPolicyStudyShape(t *testing.T) {
+	c := tiny()
+	c.Workloads = []string{"apache"}
+	rows, err := PolicyStudy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every registered dynamic policy x {clean, faulty}.
+	if want := 2 * len(mode.Dynamic()); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	byPolicy := map[string]bool{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = true
+		if r.PerfIPC.N() == 0 || r.RelIPC.N() == 0 {
+			t.Fatalf("%s/%s: empty ratio samples", r.Policy, r.Variant)
+		}
+		// Duty-cycle forces transitions at every boundary; the study
+		// must see them.
+		if r.Policy == "duty-cycle" && r.Switches.Mean() == 0 {
+			t.Fatalf("duty-cycle reported no mode switches")
+		}
+	}
+	for _, p := range mode.Dynamic() {
+		if !byPolicy[p] {
+			t.Fatalf("policy %q missing from study", p)
+		}
+	}
+	if PolicyTable(rows).String() == "" {
+		t.Fatal("table renders empty")
+	}
+	// A restricted axis runs only the requested policies (plus the
+	// static baseline), honoring parameterized specs.
+	c.Policies = []string{"duty-cycle:60000:25"}
+	rows, err = PolicyStudy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Policy != "duty-cycle" {
+		t.Fatalf("restricted axis rows: %+v", rows)
 	}
 }

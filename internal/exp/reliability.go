@@ -48,12 +48,19 @@ func ReliabilityStudy(c Config) ([]ReliaRow, error) {
 	}
 	rates := campaign.DefaultFaultRates()
 	var rows []ReliaRow
-	for _, mode := range campaign.ReliaModes() {
+	for _, rm := range campaign.ReliaModes() {
 		for _, rate := range rates {
-			variant := campaign.ReliaVariant(mode.Name, rate)
+			variant := campaign.ReliaVariant(rm.Name, rate)
+			// Adaptive modes run under a dynamic policy, which is its
+			// own key segment; build the key through Job so it matches.
+			k := campaign.Job{
+				Workload: "", Kind: rm.Kind, Variant: variant,
+				Knobs: campaign.Knobs{Policy: rm.Policy},
+			}
 			var batches []*core.ReliaBatch
 			for _, wl := range c.workloads() {
-				for _, m := range res[key(wl, mode.Kind, variant)] {
+				k.Workload = wl
+				for _, m := range res[k.Key()] {
 					batches = append(batches, m.Relia)
 				}
 			}
@@ -61,7 +68,7 @@ func ReliabilityStudy(c Config) ([]ReliaRow, error) {
 			if merged == nil {
 				continue
 			}
-			row := ReliaRow{Mode: mode.Name, Rate: rate, Faults: relia.TotalInjected(merged)}
+			row := ReliaRow{Mode: rm.Name, Rate: rate, Faults: relia.TotalInjected(merged)}
 			cov, exposed := relia.Coverage(merged, "result-flip")
 			row.ResultCov = stats.Ratio(float64(cov), float64(exposed))
 			row.ResultLo, row.ResultHi = stats.Wilson(cov, exposed)

@@ -1,0 +1,153 @@
+package mode
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Default parameters of the registered policies. Exported indirectly
+// through the canonical names; campaigns that want different values
+// use the parameterized name forms, which flow through job
+// fingerprints, cache keys and the distributed protocol like any
+// other policy name.
+const (
+	// The utilization thresholds are commit rates per core cycle.
+	// The simulated workloads commit ~0.03-0.06 instructions per core
+	// cycle when busy (they are memory-bound server mixes), so the
+	// hysteresis band sits just under the busy rate: a coupled pair
+	// under real load decouples for performance, and re-couples once
+	// its rate collapses into stall/idle territory where the
+	// redundancy is nearly free.
+	utilDefaultPeriod      = sim.Cycle(20_000)
+	utilDefaultDecoupleIPC = 0.035
+	utilDefaultCoupleIPC   = 0.015
+
+	dutyDefaultPeriod = sim.Cycle(60_000)
+	dutyDefaultPct    = 25
+
+	escDefaultDecay = sim.Cycle(150_000)
+	escRetry        = sim.Cycle(2_000)
+)
+
+// dutyWindow is the scrub window for a period at a duty percent.
+func dutyWindow(period sim.Cycle, pct int) sim.Cycle {
+	return period * sim.Cycle(pct) / 100
+}
+
+// factories maps base policy names to constructors taking the
+// colon-separated parameter suffix of a policy spec.
+var factories = map[string]func(args []string) (Policy, error){
+	"static": func(args []string) (Policy, error) {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("mode: static takes no parameters")
+		}
+		return &static{}, nil
+	},
+	"utilization": func(args []string) (Policy, error) {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("mode: utilization takes no parameters")
+		}
+		return &utilization{
+			period:      utilDefaultPeriod,
+			decoupleIPC: utilDefaultDecoupleIPC,
+			coupleIPC:   utilDefaultCoupleIPC,
+		}, nil
+	},
+	// duty-cycle[:period[:dutypct]] — e.g. duty-cycle:60000:25 couples
+	// each pair for the first 25% of every 60k-cycle period.
+	"duty-cycle": func(args []string) (Policy, error) {
+		p := &dutyCycle{period: dutyDefaultPeriod, pct: dutyDefaultPct}
+		if len(args) > 2 {
+			return nil, fmt.Errorf("mode: duty-cycle takes at most period and duty%% parameters")
+		}
+		if len(args) >= 1 {
+			n, err := strconv.ParseUint(args[0], 10, 32)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("mode: duty-cycle period %q must be a positive cycle count", args[0])
+			}
+			p.period = sim.Cycle(n)
+		}
+		if len(args) == 2 {
+			pct, err := strconv.ParseUint(args[1], 10, 8)
+			if err != nil || pct == 0 || pct >= 100 {
+				return nil, fmt.Errorf("mode: duty-cycle duty %q must be a percentage in 1..99", args[1])
+			}
+			p.pct = int(pct)
+		}
+		p.window = dutyWindow(p.period, p.pct)
+		if p.window == 0 {
+			return nil, fmt.Errorf("mode: duty-cycle window rounds to zero cycles (period %d too short)", p.period)
+		}
+		return p, nil
+	},
+	// fault-escalation[:decay] — decay is the clean interval, in
+	// cycles, after which an escalated pair returns to its built plan.
+	"fault-escalation": func(args []string) (Policy, error) {
+		p := &faultEsc{decay: escDefaultDecay, retry: escRetry}
+		if len(args) > 1 {
+			return nil, fmt.Errorf("mode: fault-escalation takes at most a decay parameter")
+		}
+		if len(args) == 1 {
+			n, err := strconv.ParseUint(args[0], 10, 32)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("mode: fault-escalation decay %q must be a positive cycle count", args[0])
+			}
+			p.decay = sim.Cycle(n)
+		}
+		return p, nil
+	},
+}
+
+// New builds a fresh policy instance from a policy spec: a registered
+// base name with optional colon-separated parameters. The empty spec
+// resolves to "static", the policy form of the paper's pre-built
+// system kinds. Instances are stateful and must not be shared between
+// chips.
+func New(spec string) (Policy, error) {
+	if spec == "" {
+		spec = "static"
+	}
+	parts := strings.Split(spec, ":")
+	f, ok := factories[parts[0]]
+	if !ok {
+		return nil, fmt.Errorf("mode: unknown policy %q (valid: %s)", parts[0], strings.Join(Names(), ", "))
+	}
+	return f(parts[1:])
+}
+
+// Parse validates a policy spec and returns its canonical form (the
+// name the built policy reports). Empty canonicalizes to "static".
+func Parse(spec string) (string, error) {
+	p, err := New(spec)
+	if err != nil {
+		return "", err
+	}
+	return p.Name(), nil
+}
+
+// Names lists the registered base policy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dynamic lists the registered policies that can change a pair's
+// coupling at runtime (everything but "static"), in sorted order —
+// the default policy axis of catalogs and sweeps.
+func Dynamic() []string {
+	var out []string
+	for _, n := range Names() {
+		if n != "static" {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -21,6 +21,12 @@ type TrialSpec struct {
 	Workload *workload.Params
 	Seed     uint64
 
+	// Policy names the runtime mode policy the trials run under
+	// (internal/mode); empty is the kind's static behavior. Adaptive
+	// policies are the reason the taxonomy has a coverage story to
+	// tell beyond the static modes.
+	Policy string
+
 	// Config, when non-nil, is the chip configuration the trials run
 	// under (design knobs like the serial PAB lookup or TSO arrive
 	// here); nil uses the paper's default. The spec's own Timeslice
@@ -75,6 +81,7 @@ func RunTrial(spec TrialSpec) (TrialResult, error) {
 		Kind:        spec.Kind,
 		Workload:    spec.Workload,
 		Seed:        spec.Seed,
+		Policy:      spec.Policy,
 		ForcePAB:    spec.ForcePAB,
 		PABDisabled: spec.PABDisabled,
 		Recycler:    spec.Recycler,

@@ -1,11 +1,12 @@
 // Package sched is the multicore-virtualization layer the MMM leverages
 // (the paper builds on the authors' PACT 2006 overcommitted-VM work):
-// guests expose VCPUs, a thin hardware/firmware layer maps VCPUs onto
-// physical cores, and a gang scheduler rotates guests through
-// timeslices on a consolidated server. VCPUs can be overcommitted —
-// more VCPUs exposed than core pairs available — with the surplus
-// paused, which is what lets MMM-TP run independent software threads on
-// otherwise-mute cores.
+// guests expose VCPUs, and a thin hardware/firmware layer maps VCPUs
+// onto physical cores. VCPUs can be overcommitted — more VCPUs exposed
+// than core pairs available — with the surplus paused, which is what
+// lets MMM-TP run independent software threads on otherwise-mute
+// cores. The consolidated-server gang rotation that used to live here
+// is now the timer half of the mode-policy layer (internal/mode's
+// rotor, embedded by every policy).
 package sched
 
 import (
@@ -111,48 +112,4 @@ func (b *Builder) Build(name string, wl *workload.Params, n int, mode vcpu.Mode,
 		g.VCPUs = append(g.VCPUs, v)
 	}
 	return g, nil
-}
-
-// Gang is the consolidated-server gang scheduler: guests take turns in
-// fixed timeslices (1 ms = 3M cycles in the paper), with every VCPU of
-// the active guest co-scheduled.
-type Gang struct {
-	Timeslice sim.Cycle
-	nGroups   int
-	active    int
-	nextAt    sim.Cycle
-
-	Switches uint64
-}
-
-// NewGang creates a scheduler rotating among n co-scheduled groups.
-func NewGang(timeslice sim.Cycle, n int) *Gang {
-	return &Gang{Timeslice: timeslice, nGroups: n, nextAt: timeslice}
-}
-
-// Active returns the index of the group currently on the cores.
-func (s *Gang) Active() int { return s.active }
-
-// Due reports whether a group switch is due at cycle now; if so it
-// rotates to the next group and returns true with the new active
-// index. The caller performs the actual context/mode switches.
-func (s *Gang) Due(now sim.Cycle) (int, bool) {
-	if s.nGroups <= 1 || now < s.nextAt {
-		return s.active, false
-	}
-	s.active = (s.active + 1) % s.nGroups
-	s.nextAt = now + s.Timeslice
-	s.Switches++
-	return s.active, true
-}
-
-// NextEventAt returns the cycle of the next group switch — the
-// scheduler's event horizon: Due never fires before it, so a run loop
-// may advance to it in bulk without consulting the gang per cycle.
-// A single-group gang never switches and reports sim.Never.
-func (s *Gang) NextEventAt() sim.Cycle {
-	if s.nGroups <= 1 {
-		return sim.Never
-	}
-	return s.nextAt
 }

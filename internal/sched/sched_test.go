@@ -89,37 +89,3 @@ func TestScratchSlotExhaustion(t *testing.T) {
 		t.Fatal("expected scratchpad exhaustion error")
 	}
 }
-
-func TestGangRotation(t *testing.T) {
-	g := NewGang(1000, 2)
-	if g.Active() != 0 {
-		t.Fatal("initial group should be 0")
-	}
-	if _, due := g.Due(999); due {
-		t.Fatal("switch before the timeslice expired")
-	}
-	next, due := g.Due(1000)
-	if !due || next != 1 {
-		t.Fatalf("expected switch to group 1, got %d due=%v", next, due)
-	}
-	// The next switch is a full timeslice later.
-	if _, due := g.Due(1500); due {
-		t.Fatal("switched again mid-slice")
-	}
-	next, due = g.Due(2000)
-	if !due || next != 0 {
-		t.Fatal("rotation did not wrap")
-	}
-	if g.Switches != 2 {
-		t.Fatalf("switches = %d", g.Switches)
-	}
-}
-
-func TestGangSingleGroupNeverSwitches(t *testing.T) {
-	g := NewGang(100, 1)
-	for now := sim.Cycle(0); now < 10_000; now += 100 {
-		if _, due := g.Due(now); due {
-			t.Fatal("single-group gang switched")
-		}
-	}
-}
