@@ -108,6 +108,22 @@ func median(samples []float64) float64 {
 	return s[(len(s)-1)/2]
 }
 
+// spread returns the min and max samples — the per-kind run-to-run
+// spread recorded next to the median, so a noisy box (wide spread) is
+// distinguishable from a real regression (shifted median).
+func spread(samples []float64) (min, max float64) {
+	min, max = samples[0], samples[0]
+	for _, v := range samples[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
 // gateResult is the fresh-numbers artifact plus the verdict.
 type gateResult struct {
 	Benchmark   string              `json:"benchmark"`
@@ -119,6 +135,8 @@ type gateResult struct {
 
 type gateKind struct {
 	Median   float64   `json:"median"`
+	Min      float64   `json:"min"`
+	Max      float64   `json:"max"`
 	Samples  []float64 `json:"samples"`
 	Baseline float64   `json:"baseline"`
 	Ratio    float64   `json:"ratio"`
@@ -149,7 +167,8 @@ func gate(baseline map[string]baselineKind, samples map[string][]float64, tolera
 			continue
 		}
 		med := median(ss)
-		gk := gateKind{Median: med, Samples: ss, Baseline: base, Ratio: 0}
+		lo, hi := spread(ss)
+		gk := gateKind{Median: med, Min: lo, Max: hi, Samples: ss, Baseline: base, Ratio: 0}
 		if base > 0 {
 			gk.Ratio = med / base
 			if med < base*(1-tolerance) {
@@ -163,10 +182,13 @@ func gate(baseline map[string]baselineKind, samples map[string][]float64, tolera
 	return res
 }
 
-// updateKind is one kind's record in an appended baseline entry.
+// updateKind is one kind's record in an appended baseline entry. Min
+// and Max record the run-to-run spread behind the "after" median.
 type updateKind struct {
 	Before  float64 `json:"before,omitempty"`
 	After   float64 `json:"after"`
+	Min     float64 `json:"min,omitempty"`
+	Max     float64 `json:"max,omitempty"`
 	Speedup float64 `json:"speedup,omitempty"`
 }
 
@@ -180,7 +202,8 @@ func buildUpdateEntry(prev baselineEntry, samples map[string][]float64, pr int, 
 	}
 	kinds := make(map[string]updateKind, len(samples))
 	for k, ss := range samples {
-		uk := updateKind{After: median(ss)}
+		lo, hi := spread(ss)
+		uk := updateKind{After: median(ss), Min: lo, Max: hi}
 		if base, ok := prev.CyclesPerSec[k]; ok && base.After > 0 {
 			uk.Before = base.After
 			uk.Speedup = round2(uk.After / uk.Before)
@@ -291,8 +314,8 @@ func main() {
 	sort.Strings(kinds)
 	for _, k := range kinds {
 		gk := res.Kinds[k]
-		fmt.Printf("benchgate: %-10s median %12.0f  baseline %12.0f  ratio %.2f\n",
-			k, gk.Median, gk.Baseline, gk.Ratio)
+		fmt.Printf("benchgate: %-10s median %12.0f  [%.0f..%.0f]  baseline %12.0f  ratio %.2f\n",
+			k, gk.Median, gk.Min, gk.Max, gk.Baseline, gk.Ratio)
 	}
 	if len(res.Regressions) > 0 {
 		for _, r := range res.Regressions {

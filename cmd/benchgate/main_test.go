@@ -58,6 +58,15 @@ func TestMedian(t *testing.T) {
 	}
 }
 
+func TestSpread(t *testing.T) {
+	if lo, hi := spread([]float64{3, 1, 2}); lo != 1 || hi != 3 {
+		t.Fatalf("spread = [%v..%v], want [1..3]", lo, hi)
+	}
+	if lo, hi := spread([]float64{7}); lo != 7 || hi != 7 {
+		t.Fatalf("spread of one = [%v..%v], want [7..7]", lo, hi)
+	}
+}
+
 func TestGate(t *testing.T) {
 	samples, err := parseBench(strings.NewReader(benchFixture))
 	if err != nil {
@@ -76,6 +85,14 @@ func TestGate(t *testing.T) {
 	}
 	if res.Kinds["NoDMR"].Median != 1600000 {
 		t.Fatalf("NoDMR median: %+v", res.Kinds["NoDMR"])
+	}
+	// The artifact records the per-kind run-to-run spread next to the
+	// median, so a noisy box is distinguishable from a shifted median.
+	if gk := res.Kinds["NoDMR"]; gk.Min != 1500000 || gk.Max != 1700000 {
+		t.Fatalf("NoDMR spread: %+v", gk)
+	}
+	if gk := res.Kinds["MMM-IPC"]; gk.Min != 900000 || gk.Max != 1000000 {
+		t.Fatalf("MMM-IPC spread: %+v", gk)
 	}
 
 	// A tight tolerance turns the slower kind into a regression.
@@ -127,6 +144,10 @@ func TestBuildUpdateEntry(t *testing.T) {
 	nd := entry.CyclesPerSec["NoDMR"]
 	if nd.After != 1600000 || nd.Before != 1500000 || nd.Speedup != 1.07 {
 		t.Fatalf("NoDMR: %+v", nd)
+	}
+	// Appended entries record the spread behind the median too.
+	if nd.Min != 1500000 || nd.Max != 1700000 {
+		t.Fatalf("NoDMR spread in entry: %+v", nd)
 	}
 	// A kind new to the suite records only an after — the exact case
 	// the gate's missing-kind check could previously only fail on.

@@ -18,6 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -49,8 +52,52 @@ func main() {
 		workers  = flag.String("workers", "", "comma-separated mmmd worker fleet (host:port,...); shards campaign jobs remotely")
 		coord    = flag.String("coordinator", "", "job-board bind address for -workers (host[:port]); set a host the workers can reach for cross-host fleets (default loopback, single-machine only)")
 		jsonOut  = flag.String("json", "", "write per-experiment results as JSON to this file (- for stdout)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (go tool pprof) to this file at exit")
+		execTr   = flag.String("trace", "", "write a runtime execution trace (go tool trace) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mmmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *execTr != "" {
+		f, err := os.Create(*execTr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mmmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer rtrace.Stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mmmbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mmmbench: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := exp.Default()
 	if *quick {

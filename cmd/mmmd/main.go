@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -57,6 +58,7 @@ func main() {
 		worker    = flag.Bool("worker", false, "run as a fleet worker instead of the campaign service")
 		name      = flag.String("name", "", "worker name reported to coordinators (default: the listen address)")
 		capacity  = flag.Int("capacity", runtime.NumCPU(), "concurrent leased jobs in -worker mode")
+		debug     = flag.Bool("debug", false, "expose /debug/pprof profiling endpoints")
 	)
 	flag.Parse()
 
@@ -74,13 +76,14 @@ func main() {
 	defer stop()
 
 	if *worker {
-		runWorker(ctx, *addr, *name, *capacity, cache)
+		runWorker(ctx, *addr, *name, *capacity, cache, *debug)
 		return
 	}
 
 	srv := newServer(ctx, cache, *parallel, *campaigns)
 	srv.fleet = campaign.ParseWorkerList(*workers)
 	srv.coordAddr = *coord
+	srv.debug = *debug
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 
 	go func() {
@@ -114,16 +117,34 @@ func main() {
 // it abandons in-flight leases — coordinators expire and reassign
 // them, and per-job derived seeds make the reassigned runs
 // byte-identical — so killing a worker never corrupts a campaign.
-func runWorker(ctx context.Context, addr, name string, capacity int, cache campaign.Cache) {
+func runWorker(ctx context.Context, addr, name string, capacity int, cache campaign.Cache, debug bool) {
 	if name == "" {
 		name = addr
 	}
+	// jobSeconds is bound after the worker exists (the registry's
+	// collector snapshots the worker's counters); Observe on a nil
+	// histogram is a no-op, so the indirection is safe.
+	var jobSeconds *obs.Histogram
 	w := campaign.NewWorker(campaign.WorkerOptions{
-		Name:     name,
-		Capacity: capacity,
-		Cache:    cache,
+		Name:      name,
+		Capacity:  capacity,
+		Cache:     cache,
+		OnJobTime: func(d time.Duration) { jobSeconds.Observe(d.Seconds()) },
 	})
-	httpSrv := &http.Server{Addr: addr, Handler: w.Handler()}
+	reg, js := workerRegistry(w, time.Now())
+	jobSeconds = js
+
+	// Worker nodes expose the same observability surface as the
+	// coordinator: /metrics always, pprof only behind -debug. The
+	// protocol endpoints keep their own mux so the lease paths are
+	// untouched.
+	mux := http.NewServeMux()
+	mux.Handle("/", w.Handler())
+	mux.HandleFunc("GET /metrics", metricsHandler(reg))
+	if debug {
+		mountPprof(mux)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: accessLog(mux, reg)}
 
 	go func() {
 		<-ctx.Done()

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/mode"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -114,10 +115,18 @@ type server struct {
 	fleet     []string // default worker URLs; empty = local execution
 	coordAddr string   // job-board bind address for distributed runs
 	retain    int      // completed runs kept; older ones are evicted
+	debug     bool     // mount /debug/pprof
 	sem       chan struct{}
 	baseCtx   context.Context
 	wg        sync.WaitGroup
 	started   time.Time
+
+	// Telemetry (initMetrics): the /metrics registry, the fleet lease
+	// instruments handed to dispatchers, and the local job-latency
+	// histogram fed by engine OnJobTime callbacks.
+	reg        *obs.Registry
+	fleetObs   *campaign.FleetObs
+	jobSeconds *obs.Histogram
 
 	mu      sync.Mutex
 	seq     int
@@ -145,6 +154,7 @@ func newServer(ctx context.Context, cache campaign.Cache, parallel, maxCampaigns
 		s.counting = campaign.NewCountingCache(cache)
 		s.cache = s.counting
 	}
+	s.initMetrics()
 	return s
 }
 
@@ -167,12 +177,16 @@ func (s *server) handler() http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /status", s.handleServiceStatus)
+	mux.HandleFunc("GET /metrics", metricsHandler(s.reg))
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
-	return mux
+	if s.debug {
+		mountPprof(mux)
+	}
+	return accessLog(mux, s.reg)
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
@@ -289,12 +303,14 @@ func (s *server) execute(ctx context.Context, r *run, jobs []campaign.Job, fleet
 			Cache:      s.cache,
 			Addr:       campaign.CoordinatorAddr(s.coordAddr),
 			OnProgress: onProgress,
+			Obs:        s.fleetObs,
 		})
 	} else {
 		runner = campaign.New(campaign.Options{
 			Parallel:   s.parallel,
 			Cache:      s.cache,
 			OnProgress: onProgress,
+			OnJobTime:  func(d time.Duration) { s.jobSeconds.Observe(d.Seconds()) },
 		})
 	}
 	rs, err := runner.Run(ctx, r.scale, jobs)
@@ -370,23 +386,39 @@ func (s *server) lookup(w http.ResponseWriter, req *http.Request) *run {
 }
 
 // handleServiceStatus reports service-level health: uptime, runs by
-// state, and the shared result cache's hit/miss/store counters.
+// state, per-run progress snapshots, and the shared result cache's
+// hit/miss/store counters.
 func (s *server) handleServiceStatus(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	byStatus := map[string]int{}
 	total := len(s.runs)
+	runs := make([]*run, 0, len(s.runs))
 	for _, r := range s.runs {
 		r.mu.Lock()
 		byStatus[r.status]++
 		r.mu.Unlock()
+		runs = append(runs, r)
 	}
 	evicted := s.evicted
 	s.mu.Unlock()
+
+	snaps := make([]runStatus, 0, len(runs))
+	for _, r := range runs {
+		snaps = append(snaps, r.snapshot())
+	}
+	sort.Slice(snaps, func(i, j int) bool {
+		a, b := snaps[i].ID, snaps[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
 
 	out := map[string]any{
 		"status":    "ok",
 		"uptime_ms": time.Since(s.started).Milliseconds(),
 		"campaigns": map[string]any{"total": total, "by_status": byStatus, "evicted": evicted},
+		"runs":      snaps,
 	}
 	if s.counting != nil {
 		hits, misses, puts := s.counting.Stats()

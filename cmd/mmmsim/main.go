@@ -18,23 +18,27 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mode"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		system    = flag.String("system", "mmm-tp", "system configuration (no-dmr-2x, no-dmr, reunion, dmr-base, mmm-ipc, mmm-tp, single-os)")
-		policy    = flag.String("policy", "", "runtime mode policy (static, utilization, duty-cycle[:period[:duty%]], fault-escalation[:decay]); empty = static")
-		wlName    = flag.String("workload", "apache", "workload model (apache, oltp, pgoltp, pmake, pgbench, zeus)")
-		seed      = flag.Uint64("seed", 11, "random seed")
-		warmup    = flag.Uint64("warmup", 800_000, "warmup cycles")
-		measure   = flag.Uint64("measure", 1_500_000, "measurement cycles")
-		timeslice = flag.Uint64("timeslice", 250_000, "gang-scheduling timeslice cycles")
-		serialPAB = flag.Bool("serial-pab", false, "serial 2-cycle PAB lookup instead of parallel")
-		noPAB     = flag.Bool("no-pab", false, "disable PAB enforcement (count violations only)")
-		faults    = flag.Float64("fault-interval", 0, "mean cycles between injected faults (0 = none)")
-		verbose   = flag.Bool("v", false, "print detailed counters")
+		system     = flag.String("system", "mmm-tp", "system configuration (no-dmr-2x, no-dmr, reunion, dmr-base, mmm-ipc, mmm-tp, single-os)")
+		policy     = flag.String("policy", "", "runtime mode policy (static, utilization, duty-cycle[:period[:duty%]], fault-escalation[:decay]); empty = static")
+		wlName     = flag.String("workload", "apache", "workload model (apache, oltp, pgoltp, pmake, pgbench, zeus)")
+		seed       = flag.Uint64("seed", 11, "random seed")
+		warmup     = flag.Uint64("warmup", 800_000, "warmup cycles")
+		measure    = flag.Uint64("measure", 1_500_000, "measurement cycles")
+		timeslice  = flag.Uint64("timeslice", 250_000, "gang-scheduling timeslice cycles")
+		serialPAB  = flag.Bool("serial-pab", false, "serial 2-cycle PAB lookup instead of parallel")
+		noPAB      = flag.Bool("no-pab", false, "disable PAB enforcement (count violations only)")
+		faults     = flag.Float64("fault-interval", 0, "mean cycles between injected faults (0 = none)")
+		verbose    = flag.Bool("v", false, "print detailed counters")
+		traceOut   = flag.String("trace", "", "write a flight-recorder trace as Chrome trace-event JSON (perfetto-loadable) to this file")
+		traceJSONL = flag.String("trace-jsonl", "", "write the flight-recorder trace as JSON Lines to this file")
+		traceCap   = flag.Int("trace-cap", 0, "flight-recorder ring capacity in events (0 = default 65536; oldest events drop first)")
 	)
 	flag.Parse()
 
@@ -66,10 +70,23 @@ func main() {
 	if *faults > 0 {
 		opts.FaultPlan = &fault.Plan{MeanInterval: *faults}
 	}
+	var rec *obs.Recorder
+	if *traceOut != "" || *traceJSONL != "" {
+		rec = obs.NewRecorder(*traceCap)
+		opts.Recorder = rec
+	}
 	m, err := core.RunSystem(opts, sim.Cycle(*warmup), sim.Cycle(*measure))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmmsim:", err)
 		os.Exit(1)
+	}
+	if rec != nil {
+		label := fmt.Sprintf("%s/%s/%s", kind, *policy, wl.Name)
+		if err := writeTraces(rec, *traceOut, *traceJSONL, label); err != nil {
+			fmt.Fprintln(os.Stderr, "mmmsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events recorded (%d dropped from the ring)\n", rec.Total(), rec.Dropped())
 	}
 
 	polName := *policy
@@ -111,4 +128,35 @@ func main() {
 		fmt.Printf("  flush: %d lines inspected, %d written back\n", h.FlushedLines, h.FlushWritebacks)
 		fmt.Printf("  table2: user-cycles/switch=%.0f os-cycles/switch=%.0f\n", m.UserCycPerSwitch, m.OSCycPerSwitch)
 	}
+}
+
+// writeTraces dumps the flight recorder in the requested formats.
+func writeTraces(rec *obs.Recorder, chrome, jsonl, label string) error {
+	if chrome != "" {
+		f, err := os.Create(chrome)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChromeTrace(f, label); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if jsonl != "" {
+		f, err := os.Create(jsonl)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,88 @@
+// Command obscheck validates a Prometheus text exposition, for CI: it
+// parses the page strictly (version 0.0.4, the dialect mmmd emits),
+// asserts that every -required metric family is present with at least
+// one sample series, and optionally enforces a series floor. Exit 0
+// means the scrape is well-formed and complete; any failure prints the
+// reason and exits 1.
+//
+//	curl -fsS localhost:8077/metrics | obscheck \
+//	    -required mmmd_uptime_seconds,mmmd_campaign_runs -min-series 12
+//	obscheck -in scrape.txt -required mmmd_cache_hits_total
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		inPath    = flag.String("in", "-", "exposition text to validate ('-' = stdin)")
+		required  = flag.String("required", "", "comma-separated metric family names that must be present")
+		minSeries = flag.Int("min-series", 0, "minimum total sample series across all families")
+		list      = flag.Bool("list", false, "print every family (name, type, series count) after validating")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	fams, err := obs.ParseExposition(in)
+	if err != nil {
+		fatal("invalid exposition: %v", err)
+	}
+	total := obs.TotalSeries(fams)
+
+	var missing []string
+	for _, name := range strings.Split(*required, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if f := fams[name]; f == nil || len(f.Series) == 0 {
+			missing = append(missing, name)
+		}
+	}
+
+	if *list {
+		names := make([]string, 0, len(fams))
+		for n := range fams {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			f := fams[n]
+			typ := f.Type
+			if typ == "" {
+				typ = "untyped"
+			}
+			fmt.Printf("%-40s %-9s %d series\n", n, typ, len(f.Series))
+		}
+	}
+
+	if len(missing) > 0 {
+		fatal("missing required families: %s", strings.Join(missing, ", "))
+	}
+	if total < *minSeries {
+		fatal("only %d sample series, need at least %d", total, *minSeries)
+	}
+	fmt.Printf("obscheck: ok (%d families, %d series)\n", len(fams), total)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -33,6 +33,8 @@ type board struct {
 	// lock is orders of magnitude below the TTL/3 heartbeat budget,
 	// and in exchange delivery order needs no extra machinery.
 	onComplete func(idx int, m core.Metrics) error
+	// fobs instruments the lease protocol; nil records nothing.
+	fobs *FleetObs
 
 	mu          sync.Mutex
 	lastContact time.Time // any worker request; stall detection
@@ -59,6 +61,7 @@ type lease struct {
 	id      string
 	idx     int
 	worker  string
+	granted time.Time
 	expires time.Time
 	ended   bool
 }
@@ -140,7 +143,7 @@ func (b *board) handleLease(w http.ResponseWriter, req *http.Request) {
 	}
 	if lr.Check != b.check {
 		httpErrorJSON(w, http.StatusConflict,
-			"incompatible worker %q: check %q, coordinator %q", lr.Worker, lr.Check, b.check)
+			"incompatible worker %q: %s", lr.Worker, explainCheckMismatch(b.check, lr.Check))
 		return
 	}
 
@@ -167,10 +170,12 @@ func (b *board) handleLease(w http.ResponseWriter, req *http.Request) {
 		id:      fmt.Sprintf("l%d", b.seq),
 		idx:     idx,
 		worker:  lr.Worker,
+		granted: now,
 		expires: now.Add(b.ttl),
 	}
 	b.leases[l.id] = l
 	b.inflight++
+	b.fobs.LeaseGranted(lr.Worker, b.attempts[idx] > 0)
 	j := b.jobs[idx]
 	writeJSONTo(w, http.StatusOK, leaseResponse{
 		LeaseID:     l.id,
@@ -196,6 +201,7 @@ func (b *board) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	l.expires = time.Now().Add(b.ttl)
+	b.fobs.Heartbeat(l.worker)
 	writeJSONTo(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -218,6 +224,7 @@ func (b *board) handleComplete(w http.ResponseWriter, req *http.Request) {
 	}
 	l.ended = true
 	b.inflight--
+	b.fobs.JobCompleted(l.worker, time.Since(l.granted), cr.Error != "")
 
 	idx := l.idx
 	if cr.Error != "" {
@@ -305,6 +312,7 @@ func (b *board) reap(now time.Time) {
 		}
 		l.ended = true
 		b.inflight--
+		b.fobs.LeaseExpired(l.worker)
 		b.jobFailedLocked(l.idx, l.worker, fmt.Errorf(
 			"campaign: worker %s lease on job %s expired %d times",
 			l.worker, b.jobs[l.idx].Key(), b.attempts[l.idx]+1))

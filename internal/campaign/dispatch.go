@@ -48,6 +48,9 @@ type DispatchOptions struct {
 	// stalls, however slow its jobs, because workers heartbeat and
 	// poll continuously.)
 	StallTimeout time.Duration
+	// Obs, when non-nil, instruments the lease protocol (grants,
+	// expiries, reassignments, job latencies, worker liveness).
+	Obs *FleetObs
 }
 
 // Dispatcher is the remote Runner: it shards a campaign's uncached
@@ -129,6 +132,7 @@ func (d *Dispatcher) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet,
 			progress()
 			return nil
 		})
+	b.fobs = d.opts.Obs
 
 	if len(todo) > 0 {
 		ln, err := net.Listen("tcp", d.opts.Addr)

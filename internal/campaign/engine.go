@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/relia"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -27,6 +28,20 @@ type Options struct {
 	// OnProgress, when non-nil, is called after every completed job
 	// with the running totals (done out of total, cache hits so far).
 	OnProgress func(done, total, hits int)
+	// OnJobTime, when non-nil, is called with each simulated job's wall
+	// time (cache hits excluded). It runs on worker goroutines and must
+	// be concurrency-safe.
+	OnJobTime func(time.Duration)
+	// TraceDir, when non-empty, writes a flight-recorder trace for every
+	// simulated job (cache hits have no simulation to trace) as
+	// <mangled key+seed>.trace.json (Chrome trace-event JSON) and
+	// .trace.jsonl next to it. Tracing is deliberately not part of the
+	// job identity: fingerprints, cached metrics and result rows are
+	// byte-identical with or without it.
+	TraceDir string
+	// TraceMatch, when non-empty, restricts TraceDir to jobs whose
+	// aggregation key contains the substring.
+	TraceMatch string
 }
 
 // Engine executes expanded job sets. It is stateless apart from its
@@ -132,10 +147,21 @@ func (e *Engine) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet, err
 						continue
 					}
 				}
-				m, err := runJob(sc, j, scratch)
+				rec := traceRecorder(e.opts.TraceDir, e.opts.TraceMatch, j)
+				jobStart := time.Now()
+				m, err := runJob(sc, j, scratch, rec)
 				if err != nil {
 					fail(err)
 					return
+				}
+				if e.opts.OnJobTime != nil {
+					e.opts.OnJobTime(time.Since(jobStart))
+				}
+				if rec != nil {
+					if err := writeTrace(e.opts.TraceDir, j, rec); err != nil {
+						fail(err)
+						return
+					}
 				}
 				if e.opts.Cache != nil {
 					if err := e.opts.Cache.Put(fp, m); err != nil {
@@ -174,14 +200,16 @@ feed:
 
 // runJob builds and measures one simulation (or, for reliability
 // jobs, one Monte Carlo trial batch). scratch recycles chip arrays
-// across the jobs of one worker; nil is valid.
-func runJob(sc Scale, j Job, scratch *cache.Recycler) (core.Metrics, error) {
+// across the jobs of one worker; nil is valid. rec, when non-nil,
+// attaches a flight recorder to the simulated chip — pure observation,
+// never part of the returned metrics.
+func runJob(sc Scale, j Job, scratch *cache.Recycler, rec *obs.Recorder) (core.Metrics, error) {
 	wl, err := workload.ByName(j.Workload)
 	if err != nil {
 		return core.Metrics{}, err
 	}
 	if j.Knobs.ReliaTrials > 0 {
-		return runReliaJob(sc, j, wl, scratch)
+		return runReliaJob(sc, j, wl, scratch, rec)
 	}
 	cfg := sim.DefaultConfig()
 	cfg.TimesliceCycles = sc.Timeslice
@@ -195,6 +223,7 @@ func runJob(sc Scale, j Job, scratch *cache.Recycler) (core.Metrics, error) {
 		PABDisabled: j.Knobs.PABDisabled,
 		ForcePAB:    j.Knobs.ForcePAB,
 		Recycler:    scratch,
+		Recorder:    rec,
 	}
 	if j.Knobs.FaultInterval > 0 {
 		opts.FaultPlan = &fault.Plan{
@@ -226,7 +255,7 @@ func parseFaultKinds(s string) []fault.Kind {
 // trial slices with faults injected at the job's rate, classified into
 // the outcome taxonomy. The batch rides in Metrics.Relia so it flows
 // through the same cache and aggregation as performance jobs.
-func runReliaJob(sc Scale, j Job, wl *workload.Params, scratch *cache.Recycler) (core.Metrics, error) {
+func runReliaJob(sc Scale, j Job, wl *workload.Params, scratch *cache.Recycler, rec *obs.Recorder) (core.Metrics, error) {
 	warmup, measure, timeslice := relia.TrialWindows(sc.Warmup, sc.Measure, j.Knobs.ReliaTrials)
 	// Design knobs (serial PAB, TSO, flush rate) apply to reliability
 	// trials exactly as they do to performance jobs — the fingerprint
@@ -249,6 +278,7 @@ func runReliaJob(sc Scale, j Job, wl *workload.Params, scratch *cache.Recycler) 
 			ForcePAB:     j.Knobs.ForcePAB,
 			PABDisabled:  j.Knobs.PABDisabled,
 			Recycler:     scratch,
+			Recorder:     rec,
 		},
 	})
 	if err != nil {

@@ -41,6 +41,38 @@ func protocolCheck() string {
 	return fmt.Sprintf("p%d.s%d.%s", protoVersion, SpecVersion, sim.StreamCheck())
 }
 
+// explainCheckMismatch names WHICH component of two protocolCheck
+// tokens disagrees — the wire protoVersion, the campaign SpecVersion,
+// or the RNG stream digest — so a refused attach/lease says what to
+// upgrade instead of dumping two opaque tokens. Unparseable tokens
+// (e.g. from a build predating the format) fall back to quoting both.
+func explainCheckMismatch(ours, theirs string) string {
+	op, os, od, ok1 := splitCheck(ours)
+	tp, ts, td, ok2 := splitCheck(theirs)
+	if !ok1 || !ok2 {
+		return fmt.Sprintf("unrecognized check format: ours %q, theirs %q", ours, theirs)
+	}
+	switch {
+	case op != tp:
+		return fmt.Sprintf("wire protocol version mismatch: ours %s, theirs %s (checks %q vs %q)", op, tp, ours, theirs)
+	case os != ts:
+		return fmt.Sprintf("campaign SpecVersion mismatch: ours %s, theirs %s (checks %q vs %q)", os, ts, ours, theirs)
+	case od != td:
+		return fmt.Sprintf("RNG stream digest mismatch: ours %s, theirs %s — simulator builds differ", od, td)
+	default:
+		return fmt.Sprintf("checks match (%q); refusal is spurious", ours)
+	}
+}
+
+// splitCheck parses "p<proto>.s<spec>.<digest>".
+func splitCheck(c string) (proto, spec, digest string, ok bool) {
+	parts := strings.SplitN(c, ".", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[0], "p") || !strings.HasPrefix(parts[1], "s") {
+		return "", "", "", false
+	}
+	return parts[0][1:], parts[1][1:], parts[2], true
+}
+
 // attachRequest invites a worker to start pulling jobs from a board.
 type attachRequest struct {
 	// Coordinator is the base URL of the board to pull from.

@@ -31,6 +31,15 @@ type WorkerOptions struct {
 	// Client performs the worker's HTTP calls; default a client with
 	// a 10s timeout.
 	Client *http.Client
+	// OnJobTime, when non-nil, is called with each simulated leased
+	// job's wall time (local cache hits excluded). It runs on pull
+	// goroutines and must be concurrency-safe.
+	OnJobTime func(time.Duration)
+	// TraceDir / TraceMatch mirror Options.TraceDir / TraceMatch:
+	// flight-recorder traces for leased jobs this worker simulates.
+	// Never part of the job identity or the completion payload.
+	TraceDir   string
+	TraceMatch string
 }
 
 // Worker is the fleet-side runtime behind mmmd -worker: it serves an
@@ -112,6 +121,34 @@ func (w *Worker) handleStatus(rw http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// WorkerStats is a point-in-time snapshot of a worker's counters, for
+// metric exposition.
+type WorkerStats struct {
+	Name        string
+	Capacity    int
+	Attachments int
+	AttachTotal uint64
+	JobsDone    uint64
+	JobsFailed  uint64
+	LeasesLost  uint64
+}
+
+// Stats snapshots the worker's counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	attached := len(w.attachments)
+	w.mu.Unlock()
+	return WorkerStats{
+		Name:        w.opts.Name,
+		Capacity:    w.opts.Capacity,
+		Attachments: attached,
+		AttachTotal: w.attachTotal.Load(),
+		JobsDone:    w.jobsDone.Load(),
+		JobsFailed:  w.jobsFailed.Load(),
+		LeasesLost:  w.leasesLost.Load(),
+	}
+}
+
 func (w *Worker) handleAttach(rw http.ResponseWriter, req *http.Request) {
 	var ar attachRequest
 	if err := json.NewDecoder(req.Body).Decode(&ar); err != nil {
@@ -135,8 +172,8 @@ func (w *Worker) handleAttach(rw http.ResponseWriter, req *http.Request) {
 // Attaching to an already-attached board is a no-op.
 func (w *Worker) Attach(boardURL, check string) error {
 	if check != w.check {
-		return fmt.Errorf("campaign: worker %s refuses attach: coordinator check %q, worker %q",
-			w.opts.Name, check, w.check)
+		return fmt.Errorf("campaign: worker %s refuses attach: %s",
+			w.opts.Name, explainCheckMismatch(w.check, check))
 	}
 	if boardURL == "" {
 		return fmt.Errorf("campaign: attach without coordinator URL")
@@ -334,12 +371,22 @@ func (w *Worker) runLeased(ctx context.Context, boardURL string, lr leaseRespons
 		}
 	}()
 
-	m, err := runJob(lr.Scale, lr.Job, scratch)
+	rec := traceRecorder(w.opts.TraceDir, w.opts.TraceMatch, lr.Job)
+	jobStart := time.Now()
+	m, err := runJob(lr.Scale, lr.Job, scratch, rec)
 	close(hbStop)
 	<-hbDone
 
 	if err != nil {
 		return nil, err
+	}
+	if w.opts.OnJobTime != nil {
+		w.opts.OnJobTime(time.Since(jobStart))
+	}
+	if rec != nil {
+		if err := writeTrace(w.opts.TraceDir, lr.Job, rec); err != nil {
+			return nil, err
+		}
 	}
 	if revoked.Load() || ctx.Err() != nil {
 		return nil, nil

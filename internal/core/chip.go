@@ -15,6 +15,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/mode"
+	"repro/internal/obs"
 	"repro/internal/pab"
 	"repro/internal/paging"
 	"repro/internal/reunion"
@@ -121,6 +122,18 @@ type Chip struct {
 	polLastAt      sim.Cycle
 	groupSwitches  uint64
 
+	// rec is the optional flight recorder (internal/obs): transitions,
+	// policy decisions, faults, injections and bulk-step segments are
+	// emitted when it is non-nil. It is pure observation — it never
+	// consumes RNG or changes event order — so a recorded run's
+	// metrics are byte-identical to an unrecorded one, and the
+	// disabled path costs one nil check per (rare) emission site.
+	rec *obs.Recorder
+	// polRetry marks pairs whose policy decision was dropped while a
+	// transition was in flight, so the recorder can tell a "retried"
+	// decision from a fresh one. Only maintained while rec != nil.
+	polRetry []bool
+
 	// Hot-path scheduling state. active lists, in core-ID order, the
 	// cores that currently have an instruction stream; parked cores
 	// (NoDMR's idle half, MMM-IPC's idle redundant cores, mute cores
@@ -190,6 +203,7 @@ func newChip(cfg *sim.Config, kind Kind, rec *cache.Recycler) *Chip {
 	c.curAsg = make([]mode.Assignment, cfg.Cores/2)
 	c.polStatus = make([]mode.PairStatus, cfg.Cores/2)
 	c.polLastCommits = make([]uint64, cfg.Cores)
+	c.polRetry = make([]bool, cfg.Cores/2)
 	c.polNextAt = sim.Never
 	c.active = make([]*cpu.Core, 0, cfg.Cores)
 	c.coreIdle = make([]bool, cfg.Cores)
@@ -225,12 +239,35 @@ func (c *Chip) Tick() {
 		}
 	}
 	if c.Injector != nil {
-		c.Injector.Tick(now, c)
+		if c.rec == nil {
+			c.Injector.Tick(now, c)
+		} else {
+			c.tickInjectorRecorded(now)
+		}
 	}
 	for _, core := range c.active {
 		core.Tick(now)
 	}
 	c.Now++
+}
+
+// tickInjectorRecorded runs the injector and emits every attempt it
+// logged this cycle to the flight recorder. Kept out of Tick's body so
+// the recorder-disabled path stays lean.
+func (c *Chip) tickInjectorRecorded(now sim.Cycle) {
+	n0 := len(c.Injector.Log)
+	c.Injector.Tick(now, c)
+	for _, in := range c.Injector.Log[n0:] {
+		cause := in.Kind.String()
+		if !in.Hit {
+			cause += "/miss"
+		}
+		c.rec.Emit(obs.Event{
+			Kind: obs.KindInjection, Cycle: in.Cycle,
+			Pair: in.Core / 2, Core: in.Core,
+			Cause: cause, Arg: int64(in.Seq),
+		})
+	}
 }
 
 // Run advances the chip n cycles. It is the hot path of every campaign:
@@ -251,9 +288,16 @@ func (c *Chip) Run(n sim.Cycle) {
 		if len(c.active) == 0 {
 			// Whole-chip idle: no core touches any state before the
 			// horizon; idle counters are settled lazily.
+			if c.rec != nil {
+				c.rec.Emit(obs.Event{
+					Kind: obs.KindBulkStep, Cycle: c.Now, Dur: horizon - c.Now,
+					Pair: -1, Core: -1, Cause: "idle",
+				})
+			}
 			c.Now = horizon
 			continue
 		}
+		start := c.Now
 		c.transDirty = false
 		for c.Now < horizon {
 			now := c.Now
@@ -266,6 +310,12 @@ func (c *Chip) Run(n sim.Cycle) {
 				// cycle; it must start draining on the next one.
 				break
 			}
+		}
+		if c.rec != nil && c.Now > start {
+			c.rec.Emit(obs.Event{
+				Kind: obs.KindBulkStep, Cycle: start, Dur: c.Now - start,
+				Pair: -1, Core: -1, Arg: int64(len(c.active)),
+			})
 		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/cpu"
 	"repro/internal/mode"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -76,6 +77,17 @@ func (c *Chip) SetFaultObserver(fn func(FaultEvent)) {
 // the protection events a fault-sensitive mode policy subscribes to
 // (machine checks and PAB exceptions; see policy.go).
 func (c *Chip) emitFault(ev FaultEvent) {
+	if c.rec != nil {
+		pair := -1
+		if ev.Core >= 0 {
+			pair = ev.Core / 2
+		}
+		c.rec.Emit(obs.Event{
+			Kind: obs.KindFault, Cycle: ev.Cycle,
+			Pair: pair, Core: ev.Core,
+			Cause: ev.Kind.String(), Arg: int64(ev.VCPU),
+		})
+	}
 	if c.onFaultEvent != nil {
 		c.onFaultEvent(ev)
 	}

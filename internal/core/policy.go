@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mode"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -98,14 +99,50 @@ func (c *Chip) policyDecide(ev mode.Event) {
 	started := false
 	for pi := range asg {
 		if c.trans[pi] != nil {
-			continue // switching already; the policy may re-issue later
+			// Switching already; the policy may re-issue later. The
+			// flight recorder notes the dropped decision so retries can
+			// be distinguished when they finally land.
+			if c.rec != nil && asg[pi] != c.curAsg[pi] {
+				c.rec.Emit(obs.Event{
+					Kind: obs.KindDecision, Cycle: ev.Cycle,
+					Pair: pi, Core: -1,
+					Cause: ev.Kind.String() + "/dropped",
+					Arg:   int64(asg[pi].Group),
+				})
+				c.polRetry[pi] = true
+			}
+			continue
 		}
 		pl := c.planFor(asg[pi], pi)
 		c.curAsg[pi] = asg[pi]
 		if pl == c.curPlan[pi] {
 			continue // inapplicable override or unchanged group
 		}
-		c.startTransition(pi, pl, false, ev.Cycle)
+		cause := ev.Kind.String()
+		if asg[pi].Override != mode.OverrideNone {
+			cause += "/" + asg[pi].Override.String()
+		}
+		if c.rec != nil {
+			verdict := "/taken"
+			if c.polRetry[pi] {
+				verdict = "/retried"
+				c.polRetry[pi] = false
+			}
+			c.rec.Emit(obs.Event{
+				Kind: obs.KindDecision, Cycle: ev.Cycle,
+				Pair: pi, Core: -1,
+				Cause: ev.Kind.String() + verdict,
+				Arg:   int64(asg[pi].Group),
+			})
+			if asg[pi].Override != mode.OverrideNone {
+				c.rec.Emit(obs.Event{
+					Kind: obs.KindOverride, Cycle: ev.Cycle,
+					Pair: pi, Core: -1,
+					Cause: asg[pi].Override.String(),
+				})
+			}
+		}
+		c.startTransition(pi, pl, false, ev.Cycle, cause)
 		started = true
 	}
 	if started && ev.Kind == mode.EvTimer {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/vcpu"
@@ -45,6 +46,12 @@ type Options struct {
 	// done. Campaign workers use one per worker so thousands of
 	// short-lived chips reuse a handful of multi-megabyte arrays.
 	Recycler *cache.Recycler
+	// Recorder, when non-nil, attaches a flight recorder that traces
+	// mode transitions, policy decisions, faults and run-loop bulk
+	// steps. Pure observation: it never consumes RNG, never changes
+	// event order, and never appears in Metrics, so results are
+	// byte-identical with or without it.
+	Recorder *obs.Recorder
 }
 
 // NewSystem builds a chip configured as one of the paper's evaluated
@@ -59,6 +66,7 @@ func NewSystem(opts Options) (*Chip, error) {
 		return nil, fmt.Errorf("core: no workload given")
 	}
 	c := newChip(cfg, opts.Kind, opts.Recycler)
+	c.rec = opts.Recorder
 	pairs := cfg.Cores / 2
 	b := sched.NewBuilder(cfg, c.PM, 4*cfg.Cores)
 
@@ -220,7 +228,7 @@ func (c *Chip) installSingleOSHooks() {
 			return false
 		}
 		if c.trans[pi] == nil {
-			c.startTransition(pi, pairPlan{vocal: pl.vocal, dmr: true}, true, c.Now)
+			c.startTransition(pi, pairPlan{vocal: pl.vocal, dmr: true}, true, c.Now, "trap-enter")
 		}
 		return true
 	}
@@ -231,7 +239,7 @@ func (c *Chip) installSingleOSHooks() {
 			return false
 		}
 		if c.trans[pi] == nil {
-			c.startTransition(pi, pairPlan{vocal: pl.vocal}, false, c.Now)
+			c.startTransition(pi, pairPlan{vocal: pl.vocal}, false, c.Now, "trap-return")
 		}
 		return true
 	}

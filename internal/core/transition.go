@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vcpu"
 )
@@ -26,10 +27,15 @@ type transition struct {
 	old, next    pairPlan
 	kind         transKind
 	suppressHook bool // vocal resumes into the trap that caused the switch
+	// cause names what queued the switch (policy event kind, possibly
+	// with a coupling override, or a single-OS trap boundary). Only
+	// read by the flight recorder.
+	cause string
 }
 
-// startTransition holds fetch on the pair and queues the switch.
-func (c *Chip) startTransition(pi int, next pairPlan, suppressHook bool, now sim.Cycle) {
+// startTransition holds fetch on the pair and queues the switch; cause
+// names the trigger for the flight recorder.
+func (c *Chip) startTransition(pi int, next pairPlan, suppressHook bool, now sim.Cycle, cause string) {
 	old := c.curPlan[pi]
 	kind := transCtx
 	switch {
@@ -44,6 +50,7 @@ func (c *Chip) startTransition(pi int, next pairPlan, suppressHook bool, now sim
 		next:         next,
 		kind:         kind,
 		suppressHook: suppressHook,
+		cause:        cause,
 	}
 	c.transCount++
 	c.transDirty = true // Run must leave bulk stepping to poll the drain
@@ -72,7 +79,7 @@ func (c *Chip) stepTransition(pi int, now sim.Cycle) {
 		vocal.BlockUntil(tr.doneAt)
 		mute.BlockUntil(tr.doneAt)
 		tr.phase = 1
-		c.recordTransition(tr, tr.doneAt-tr.startAt)
+		c.recordTransition(pi, tr, tr.doneAt-tr.startAt, now-tr.startAt)
 	case 1: // moving
 		if now < tr.doneAt {
 			return
@@ -83,20 +90,32 @@ func (c *Chip) stepTransition(pi int, now sim.Cycle) {
 	}
 }
 
-// recordTransition accumulates Table 1 statistics.
-func (c *Chip) recordTransition(tr *transition, dur sim.Cycle) {
+// recordTransition accumulates Table 1 statistics and emits the
+// completed switch — with its cause and pipeline-drain latency — to
+// the flight recorder.
+func (c *Chip) recordTransition(pi int, tr *transition, dur, drain sim.Cycle) {
+	kind := obs.KindCtxSwitch
 	switch tr.kind {
 	case transEnter:
 		c.enterN++
 		c.enterCycles += dur
 		c.Cores[0].C.ModeSwitches++ // chip-level tally, kept on core 0
+		kind = obs.KindEnterDMR
 	case transLeave:
 		c.leaveN++
 		c.leaveCyc += dur
 		c.Cores[0].C.ModeSwitches++
+		kind = obs.KindLeaveDMR
 	default:
 		c.ctxN++
 		c.ctxCycles += dur
+	}
+	if c.rec != nil {
+		c.rec.Emit(obs.Event{
+			Kind: kind, Cycle: tr.startAt, Dur: dur,
+			Pair: pi, Core: 2 * pi,
+			Cause: tr.cause, Arg: int64(drain),
+		})
 	}
 }
 

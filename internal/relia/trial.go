@@ -10,6 +10,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -53,6 +54,12 @@ type TrialSpec struct {
 	// many short-lived chips a trial batch builds (single-owner; the
 	// caller must not share it across concurrent batches).
 	Recycler *cache.Recycler
+
+	// Recorder, when non-nil, traces each trial's chip into one shared
+	// flight recorder. Trials restart the simulation clock, so events
+	// from successive trials overlap in time; RunBatch marks each
+	// trial's boundary with a "trial-start" annotation.
+	Recorder *obs.Recorder
 }
 
 // TrialResult is one trial's classified faults plus its raw log.
@@ -85,6 +92,7 @@ func RunTrial(spec TrialSpec) (TrialResult, error) {
 		ForcePAB:    spec.ForcePAB,
 		PABDisabled: spec.PABDisabled,
 		Recycler:    spec.Recycler,
+		Recorder:    spec.Recorder,
 	})
 	if err != nil {
 		return TrialResult{}, err
@@ -171,6 +179,10 @@ func RunBatch(spec BatchSpec) (core.ReliaBatch, error) {
 	for t := 0; t < spec.Trials; t++ {
 		ts := spec.Trial
 		ts.Seed = sim.DeriveSeed(spec.Trial.Seed, "relia-trial", strconv.Itoa(t))
+		spec.Trial.Recorder.Emit(obs.Event{
+			Kind: obs.KindMark, Pair: -1, Core: -1,
+			Cause: "trial-start", Arg: int64(t),
+		})
 		res, err := RunTrial(ts)
 		if err != nil {
 			return core.ReliaBatch{}, err
