@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -37,17 +38,29 @@ var hotPathKinds = func() []hotPathCell {
 	)
 }()
 
-// hotPathChip builds the benchmark system: the apache workload (the
-// paper's most switch-heavy server mix) at the default configuration,
-// settled past the cold-cache transient so the benchmark window
-// measures steady-state simulation speed.
-func hotPathChip(b *testing.B, cell hotPathCell) *core.Chip {
+// hotPathWorkloads and hotPathSeeds span the measurement grid: two
+// workload mixes (apache, the paper's most switch-heavy server mix;
+// oltp, its transaction-processing counterpart) by three seeds, so the
+// recorded numbers carry a per-cell min/median/max spread instead of a
+// single apache/seed-11 point — per "Producing Wrong Data Without
+// Doing Anything Obviously Wrong", one cell's median is exactly the
+// measurement-bias trap. benchgate treats apache/s11 as the primary
+// cell, so baselines recorded before the grid still gate.
+var (
+	hotPathWorkloads = []string{"apache", "oltp"}
+	hotPathSeeds     = []uint64{11, 12, 13}
+)
+
+// hotPathChip builds one benchmark system at the default
+// configuration, settled past the cold-cache transient so the
+// benchmark window measures steady-state simulation speed.
+func hotPathChip(b *testing.B, cell hotPathCell, wlName string, seed uint64) *core.Chip {
 	b.Helper()
-	wl, err := workload.ByName("apache")
+	wl, err := workload.ByName(wlName)
 	if err != nil {
 		b.Fatal(err)
 	}
-	chip, err := core.NewSystem(core.Options{Kind: cell.kind, Policy: cell.policy, Workload: wl, Seed: 11})
+	chip, err := core.NewSystem(core.Options{Kind: cell.kind, Policy: cell.policy, Workload: wl, Seed: seed})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -55,23 +68,29 @@ func hotPathChip(b *testing.B, cell hotPathCell) *core.Chip {
 	return chip
 }
 
-// BenchmarkHotPath measures Chip.Run throughput per system kind in
-// simulated cycles per second (the number BENCH_hotpath.json records).
+// BenchmarkHotPath measures Chip.Run throughput in simulated cycles
+// per second across the kind × workload × seed grid (the numbers
+// BENCH_hotpath.json records). Sub-benchmark names are
+// <kind>/<workload>/s<seed>, the cell key benchgate parses.
 func BenchmarkHotPath(b *testing.B) {
 	const slice = 10_000 // cycles per iteration: several gang timeslices per second
 	for _, cell := range hotPathKinds {
-		b.Run(cell.name, func(b *testing.B) {
-			chip := hotPathChip(b, cell)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				chip.Run(slice)
+		for _, wlName := range hotPathWorkloads {
+			for _, seed := range hotPathSeeds {
+				b.Run(fmt.Sprintf("%s/%s/s%d", cell.name, wlName, seed), func(b *testing.B) {
+					chip := hotPathChip(b, cell, wlName, seed)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						chip.Run(slice)
+					}
+					b.StopTimer()
+					secs := b.Elapsed().Seconds()
+					if secs > 0 {
+						b.ReportMetric(float64(b.N)*slice/secs, "cycles/sec")
+					}
+				})
 			}
-			b.StopTimer()
-			secs := b.Elapsed().Seconds()
-			if secs > 0 {
-				b.ReportMetric(float64(b.N)*slice/secs, "cycles/sec")
-			}
-		})
+		}
 	}
 }
 
@@ -82,7 +101,7 @@ func BenchmarkHotPathTick(b *testing.B) {
 	const slice = 10_000
 	for _, kind := range []core.Kind{core.KindNoDMR, core.KindMMMTP} {
 		b.Run(kind.String(), func(b *testing.B) {
-			chip := hotPathChip(b, hotPathCell{name: kind.String(), kind: kind})
+			chip := hotPathChip(b, hotPathCell{name: kind.String(), kind: kind}, "apache", 11)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for c := sim.Cycle(0); c < slice; c++ {

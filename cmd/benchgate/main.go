@@ -38,6 +38,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -70,20 +71,38 @@ type baselineEntry struct {
 	CyclesPerSec map[string]baselineKind `json:"cycles_per_sec"`
 }
 
+// cellStat is the min/median/max of one workload×seed cell's samples.
+type cellStat struct {
+	Median float64 `json:"median"`
+	Min    float64 `json:"min,omitempty"`
+	Max    float64 `json:"max,omitempty"`
+}
+
 type baselineKind struct {
 	After float64 `json:"after"`
+	// Cells records the per-workload×seed spread behind After
+	// (entries appended before the multi-cell suite lack it; those
+	// baselines gate on the primary cell only).
+	Cells map[string]cellStat `json:"cells,omitempty"`
 }
+
+// primaryCell is the workload/seed cell every kind benches and legacy
+// single-cell baselines implicitly recorded: baseline After values are
+// compared against this cell's median.
+const primaryCell = "apache/s11"
 
 // benchLine matches one sub-benchmark result line, e.g.
 //
-//	BenchmarkHotPath/MMM-IPC-4   123   9270000 ns/op   944490 cycles/sec
+//	BenchmarkHotPath/MMM-IPC/apache/s11-4   123   9270000 ns/op   944490 cycles/sec
 //
-// capturing the kind ("MMM-IPC"; the trailing -N is the GOMAXPROCS
-// suffix, omitted when GOMAXPROCS=1) and the cycles/sec value.
+// capturing the full sub-benchmark name ("MMM-IPC/apache/s11"; the
+// trailing -N is the GOMAXPROCS suffix, omitted when GOMAXPROCS=1) and
+// the cycles/sec value. Pre-multi-cell output ("MMM-IPC" alone) parses
+// too and maps onto the primary cell.
 var benchLine = regexp.MustCompile(`^BenchmarkHotPath/(.+?)(?:-\d+)?\s+.*?([0-9.e+]+) cycles/sec`)
 
-// parseBench collects every per-kind cycles/sec sample from go test
-// -bench output (repeated runs via -count yield repeated samples).
+// parseBench collects every sub-benchmark's cycles/sec samples from go
+// test -bench output (repeated runs via -count yield repeated samples).
 func parseBench(r io.Reader) (map[string][]float64, error) {
 	out := make(map[string][]float64)
 	sc := bufio.NewScanner(r)
@@ -99,6 +118,28 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 		out[m[1]] = append(out[m[1]], v)
 	}
 	return out, sc.Err()
+}
+
+// splitCell splits a sub-benchmark name into system kind and
+// workload×seed cell; a bare kind (legacy output) is the primary cell.
+func splitCell(name string) (kind, cell string) {
+	if i := strings.Index(name, "/"); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return name, primaryCell
+}
+
+// groupCells indexes parsed samples by kind, then cell.
+func groupCells(samples map[string][]float64) map[string]map[string][]float64 {
+	out := make(map[string]map[string][]float64)
+	for name, ss := range samples {
+		k, c := splitCell(name)
+		if out[k] == nil {
+			out[k] = make(map[string][]float64)
+		}
+		out[k][c] = append(out[k][c], ss...)
+	}
+	return out
 }
 
 // median returns the middle sample (lower-middle for even counts).
@@ -129,27 +170,37 @@ type gateResult struct {
 	Benchmark   string              `json:"benchmark"`
 	Metric      string              `json:"metric"`
 	Tolerance   float64             `json:"tolerance"`
+	PrimaryCell string              `json:"primary_cell"`
 	Kinds       map[string]gateKind `json:"kinds"`
 	Regressions []string            `json:"regressions"`
 }
 
 type gateKind struct {
+	// Median/Min/Max/Samples describe the primary cell — the series
+	// every baseline entry (old or new) records.
 	Median   float64   `json:"median"`
 	Min      float64   `json:"min"`
 	Max      float64   `json:"max"`
 	Samples  []float64 `json:"samples"`
 	Baseline float64   `json:"baseline"`
 	Ratio    float64   `json:"ratio"`
+	// Cells is the min/median/max spread of every fresh workload×seed
+	// cell of this kind.
+	Cells map[string]cellStat `json:"cells"`
 }
 
-// gate compares per-kind medians against the baseline. Every baseline
-// kind must be present in the fresh samples — a kind that silently
-// stopped running is itself a gate failure.
-func gate(baseline map[string]baselineKind, samples map[string][]float64, tolerance float64) gateResult {
+// gate compares fresh medians against the baseline: every baseline
+// kind's After against its primary-cell median, plus — when the
+// baseline entry records per-cell numbers — each recorded cell against
+// its fresh counterpart. A baseline kind or cell with no fresh samples
+// is itself a gate failure: a benchmark that silently stopped running
+// must not pass.
+func gate(baseline map[string]baselineKind, grouped map[string]map[string][]float64, tolerance float64) gateResult {
 	res := gateResult{
 		Benchmark:   "BenchmarkHotPath",
 		Metric:      "cycles/sec",
 		Tolerance:   tolerance,
+		PrimaryCell: primaryCell,
 		Kinds:       make(map[string]gateKind),
 		Regressions: []string{},
 	}
@@ -159,22 +210,51 @@ func gate(baseline map[string]baselineKind, samples map[string][]float64, tolera
 	}
 	sort.Strings(kinds)
 	for _, k := range kinds {
-		base := baseline[k].After
-		ss := samples[k]
+		base := baseline[k]
+		cells := grouped[k]
+		ss := cells[primaryCell]
 		if len(ss) == 0 {
 			res.Regressions = append(res.Regressions,
-				fmt.Sprintf("%s: no samples (benchmark did not run)", k))
+				fmt.Sprintf("%s: no %s samples (benchmark did not run)", k, primaryCell))
 			continue
 		}
 		med := median(ss)
 		lo, hi := spread(ss)
-		gk := gateKind{Median: med, Min: lo, Max: hi, Samples: ss, Baseline: base, Ratio: 0}
-		if base > 0 {
-			gk.Ratio = med / base
-			if med < base*(1-tolerance) {
+		gk := gateKind{Median: med, Min: lo, Max: hi, Samples: ss,
+			Baseline: base.After, Cells: make(map[string]cellStat)}
+		if base.After > 0 {
+			gk.Ratio = med / base.After
+			if med < base.After*(1-tolerance) {
 				res.Regressions = append(res.Regressions, fmt.Sprintf(
 					"%s: median %.0f cycles/sec vs baseline %.0f (%.0f%% of baseline, floor %.0f%%)",
-					k, med, base, 100*gk.Ratio, 100*(1-tolerance)))
+					k, med, base.After, 100*gk.Ratio, 100*(1-tolerance)))
+			}
+		}
+		for c, cs := range cells {
+			m := median(cs)
+			l, h := spread(cs)
+			gk.Cells[c] = cellStat{Median: m, Min: l, Max: h}
+		}
+		// Baselines that record per-cell numbers gate each cell, so a
+		// regression confined to one workload or seed cannot hide behind
+		// a healthy primary cell.
+		baseCells := make([]string, 0, len(base.Cells))
+		for c := range base.Cells {
+			baseCells = append(baseCells, c)
+		}
+		sort.Strings(baseCells)
+		for _, c := range baseCells {
+			bc := base.Cells[c]
+			cs := cells[c]
+			if len(cs) == 0 {
+				res.Regressions = append(res.Regressions,
+					fmt.Sprintf("%s/%s: no samples (cell did not run)", k, c))
+				continue
+			}
+			if m := median(cs); bc.Median > 0 && m < bc.Median*(1-tolerance) {
+				res.Regressions = append(res.Regressions, fmt.Sprintf(
+					"%s/%s: median %.0f cycles/sec vs baseline %.0f (%.0f%% of baseline, floor %.0f%%)",
+					k, c, m, bc.Median, 100*m/bc.Median, 100*(1-tolerance)))
 			}
 		}
 		res.Kinds[k] = gk
@@ -183,27 +263,45 @@ func gate(baseline map[string]baselineKind, samples map[string][]float64, tolera
 }
 
 // updateKind is one kind's record in an appended baseline entry. Min
-// and Max record the run-to-run spread behind the "after" median.
+// and Max record the primary cell's run-to-run spread behind the
+// "after" median; Cells the per-workload×seed spread of the whole
+// suite.
 type updateKind struct {
-	Before  float64 `json:"before,omitempty"`
-	After   float64 `json:"after"`
-	Min     float64 `json:"min,omitempty"`
-	Max     float64 `json:"max,omitempty"`
-	Speedup float64 `json:"speedup,omitempty"`
+	Before  float64             `json:"before,omitempty"`
+	After   float64             `json:"after"`
+	Min     float64             `json:"min,omitempty"`
+	Max     float64             `json:"max,omitempty"`
+	Speedup float64             `json:"speedup,omitempty"`
+	Cells   map[string]cellStat `json:"cells,omitempty"`
 }
 
-// buildUpdateEntry folds fresh per-kind medians into a new baseline
-// entry: medians become "after", the previous entry's "after" become
-// "before" where both exist (kinds new to the suite record only an
-// "after").
-func buildUpdateEntry(prev baselineEntry, samples map[string][]float64, pr int, date, change string) (json.RawMessage, error) {
-	if len(samples) == 0 {
+// buildUpdateEntry folds fresh medians into a new baseline entry:
+// primary-cell medians become "after", the previous entry's "after"
+// become "before" where both exist (kinds new to the suite record only
+// an "after"), and every workload×seed cell records its min/median/max
+// so future gates can check each cell.
+func buildUpdateEntry(prev baselineEntry, grouped map[string]map[string][]float64, pr int, date, change string) (json.RawMessage, error) {
+	if len(grouped) == 0 {
 		return nil, fmt.Errorf("bench output contains no BenchmarkHotPath samples")
 	}
-	kinds := make(map[string]updateKind, len(samples))
-	for k, ss := range samples {
+	kinds := make(map[string]updateKind, len(grouped))
+	for k, cells := range grouped {
+		ss := cells[primaryCell]
+		if len(ss) == 0 {
+			// A kind that skips the primary cell pools everything it ran
+			// — After stays meaningful even for a partial suite.
+			for _, cs := range cells {
+				ss = append(ss, cs...)
+			}
+		}
 		lo, hi := spread(ss)
-		uk := updateKind{After: median(ss), Min: lo, Max: hi}
+		uk := updateKind{After: median(ss), Min: lo, Max: hi,
+			Cells: make(map[string]cellStat, len(cells))}
+		for c, cs := range cells {
+			m := median(cs)
+			l, h := spread(cs)
+			uk.Cells[c] = cellStat{Median: m, Min: l, Max: h}
+		}
 		if base, ok := prev.CyclesPerSec[k]; ok && base.After > 0 {
 			uk.Before = base.After
 			uk.Speedup = round2(uk.After / uk.Before)
@@ -278,9 +376,10 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	grouped := groupCells(samples)
 
 	if *update {
-		entry, err := buildUpdateEntry(latest, samples, *pr, time.Now().Format("2006-01-02"), *change)
+		entry, err := buildUpdateEntry(latest, grouped, *pr, time.Now().Format("2006-01-02"), *change)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -293,11 +392,11 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Printf("benchgate: appended entry pr=%d with %d kinds to %s\n",
-			*pr, len(samples), *baselinePath)
+			*pr, len(grouped), *baselinePath)
 		return
 	}
 
-	res := gate(latest.CyclesPerSec, samples, *tolerance)
+	res := gate(latest.CyclesPerSec, grouped, *tolerance)
 	if *outPath != "" {
 		out, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -316,6 +415,16 @@ func main() {
 		gk := res.Kinds[k]
 		fmt.Printf("benchgate: %-10s median %12.0f  [%.0f..%.0f]  baseline %12.0f  ratio %.2f\n",
 			k, gk.Median, gk.Min, gk.Max, gk.Baseline, gk.Ratio)
+		cells := make([]string, 0, len(gk.Cells))
+		for c := range gk.Cells {
+			cells = append(cells, c)
+		}
+		sort.Strings(cells)
+		for _, c := range cells {
+			cs := gk.Cells[c]
+			fmt.Printf("benchgate:   %-20s median %12.0f  [%.0f..%.0f]\n",
+				c, cs.Median, cs.Min, cs.Max)
+		}
 	}
 	if len(res.Regressions) > 0 {
 		for _, r := range res.Regressions {

@@ -6,43 +6,64 @@ import (
 	"testing"
 )
 
-// benchFixture is real-shaped `go test -bench -count=3` output: three
-// samples per kind, kind names containing dashes, plus noise lines
-// the parser must skip.
+// benchFixture is real-shaped `go test -bench -count=3` output from
+// the multi-cell suite: three samples per kind at the primary cell,
+// extra workload/seed cells, kind names containing dashes, legacy
+// cell-less lines, plus noise lines the parser must skip.
 const benchFixture = `goos: linux
 goarch: amd64
 pkg: repro
 cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
-BenchmarkHotPath/NoDMR-4         	     100	  10000000 ns/op	   1600000 cycles/sec
-BenchmarkHotPath/NoDMR-4         	     100	  10000000 ns/op	   1500000 cycles/sec
-BenchmarkHotPath/NoDMR-4         	     100	  10000000 ns/op	   1700000 cycles/sec
-BenchmarkHotPath/MMM-IPC-4      	     100	  10000000 ns/op	   1000000 cycles/sec
-BenchmarkHotPath/MMM-IPC-4      	     100	  10000000 ns/op	    900000 cycles/sec
-BenchmarkHotPath/MMM-IPC-4      	     100	  10000000 ns/op	    950000 cycles/sec
+BenchmarkHotPath/NoDMR/apache/s11-4         	     100	  10000000 ns/op	   1600000 cycles/sec
+BenchmarkHotPath/NoDMR/apache/s11-4         	     100	  10000000 ns/op	   1500000 cycles/sec
+BenchmarkHotPath/NoDMR/apache/s11-4         	     100	  10000000 ns/op	   1700000 cycles/sec
+BenchmarkHotPath/NoDMR/oltp/s12-4           	     100	  10000000 ns/op	   2000000 cycles/sec
+BenchmarkHotPath/MMM-IPC/apache/s11-4      	     100	  10000000 ns/op	   1000000 cycles/sec
+BenchmarkHotPath/MMM-IPC/apache/s11-4      	     100	  10000000 ns/op	    900000 cycles/sec
+BenchmarkHotPath/MMM-IPC/apache/s11-4      	     100	  10000000 ns/op	    950000 cycles/sec
 BenchmarkHotPath/SingleOS       	       1	  10000000 ns/op	   4000000 cycles/sec
 BenchmarkHotPathTick/NoDMR-4    	     100	  10000000 ns/op	    500000 cycles/sec
 PASS
 ok  	repro	1.0s
 `
 
-func TestParseBench(t *testing.T) {
+func TestParseBenchAndGroup(t *testing.T) {
 	samples, err := parseBench(strings.NewReader(benchFixture))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(samples) != 3 {
-		t.Fatalf("parsed kinds %v, want NoDMR, MMM-IPC and SingleOS", samples)
+	grouped := groupCells(samples)
+	if len(grouped) != 3 {
+		t.Fatalf("parsed kinds %v, want NoDMR, MMM-IPC and SingleOS", grouped)
 	}
-	if got := samples["NoDMR"]; len(got) != 3 || got[0] != 1600000 {
-		t.Fatalf("NoDMR samples: %v", got)
+	if got := grouped["NoDMR"][primaryCell]; len(got) != 3 || got[0] != 1600000 {
+		t.Fatalf("NoDMR primary samples: %v", got)
+	}
+	if got := grouped["NoDMR"]["oltp/s12"]; len(got) != 1 || got[0] != 2000000 {
+		t.Fatalf("NoDMR oltp/s12 samples: %v", got)
 	}
 	// Dashed kind names must survive the GOMAXPROCS-suffix strip.
-	if got := samples["MMM-IPC"]; len(got) != 3 || got[1] != 900000 {
+	if got := grouped["MMM-IPC"][primaryCell]; len(got) != 3 || got[1] != 900000 {
 		t.Fatalf("MMM-IPC samples: %v", got)
 	}
-	// GOMAXPROCS=1 output carries no -N suffix at all.
-	if got := samples["SingleOS"]; len(got) != 1 || got[0] != 4000000 {
+	// Legacy cell-less names (and GOMAXPROCS=1 output with no -N
+	// suffix) parse and map onto the primary cell.
+	if got := grouped["SingleOS"][primaryCell]; len(got) != 1 || got[0] != 4000000 {
 		t.Fatalf("SingleOS samples: %v", got)
+	}
+}
+
+func TestSplitCell(t *testing.T) {
+	cases := []struct{ name, kind, cell string }{
+		{"NoDMR/apache/s11", "NoDMR", "apache/s11"},
+		{"MMM-IPC/oltp/s13", "MMM-IPC", "oltp/s13"},
+		{"SingleOS", "SingleOS", primaryCell},
+	}
+	for _, tc := range cases {
+		k, c := splitCell(tc.name)
+		if k != tc.kind || c != tc.cell {
+			t.Errorf("splitCell(%q) = (%q, %q), want (%q, %q)", tc.name, k, c, tc.kind, tc.cell)
+		}
 	}
 }
 
@@ -72,6 +93,9 @@ func TestGate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	grouped := groupCells(samples)
+	// Legacy baseline entries record only After — they gate against
+	// the primary cell.
 	baseline := map[string]baselineKind{
 		"NoDMR":   {After: 1624690},
 		"MMM-IPC": {After: 1034722},
@@ -79,24 +103,27 @@ func TestGate(t *testing.T) {
 
 	// Medians 1600000 and 950000 are ~0.98x and ~0.92x of baseline:
 	// comfortably inside a 35% tolerance.
-	res := gate(baseline, samples, 0.35)
+	res := gate(baseline, grouped, 0.35)
 	if len(res.Regressions) != 0 {
 		t.Fatalf("within tolerance but flagged: %v", res.Regressions)
 	}
 	if res.Kinds["NoDMR"].Median != 1600000 {
 		t.Fatalf("NoDMR median: %+v", res.Kinds["NoDMR"])
 	}
-	// The artifact records the per-kind run-to-run spread next to the
+	// The artifact records the per-cell run-to-run spread next to the
 	// median, so a noisy box is distinguishable from a shifted median.
 	if gk := res.Kinds["NoDMR"]; gk.Min != 1500000 || gk.Max != 1700000 {
 		t.Fatalf("NoDMR spread: %+v", gk)
+	}
+	if cs := res.Kinds["NoDMR"].Cells["oltp/s12"]; cs.Median != 2000000 {
+		t.Fatalf("NoDMR oltp cell: %+v", res.Kinds["NoDMR"].Cells)
 	}
 	if gk := res.Kinds["MMM-IPC"]; gk.Min != 900000 || gk.Max != 1000000 {
 		t.Fatalf("MMM-IPC spread: %+v", gk)
 	}
 
 	// A tight tolerance turns the slower kind into a regression.
-	res = gate(baseline, samples, 0.05)
+	res = gate(baseline, grouped, 0.05)
 	if len(res.Regressions) != 1 || !strings.Contains(res.Regressions[0], "MMM-IPC") {
 		t.Fatalf("5%% tolerance: %v", res.Regressions)
 	}
@@ -104,9 +131,29 @@ func TestGate(t *testing.T) {
 	// A baseline kind with no fresh samples is itself a failure — the
 	// gate must not silently pass when a benchmark stops running.
 	baseline["Reunion"] = baselineKind{After: 1000000}
-	res = gate(baseline, samples, 0.35)
+	res = gate(baseline, grouped, 0.35)
 	if len(res.Regressions) != 1 || !strings.Contains(res.Regressions[0], "Reunion") {
 		t.Fatalf("missing kind not flagged: %v", res.Regressions)
+	}
+	delete(baseline, "Reunion")
+
+	// A baseline that records per-cell numbers gates each cell: a
+	// regression confined to one cell fails even when the primary cell
+	// is healthy, and a cell that stopped running fails too.
+	baseline["NoDMR"] = baselineKind{After: 1624690, Cells: map[string]cellStat{
+		primaryCell: {Median: 1624690},
+		"oltp/s12":  {Median: 4000000}, // fresh median 2000000: 50% drop
+	}}
+	res = gate(baseline, grouped, 0.35)
+	if len(res.Regressions) != 1 || !strings.Contains(res.Regressions[0], "NoDMR/oltp/s12") {
+		t.Fatalf("per-cell regression not flagged: %v", res.Regressions)
+	}
+	baseline["NoDMR"] = baselineKind{After: 1624690, Cells: map[string]cellStat{
+		"oltp/s13": {Median: 2000000},
+	}}
+	res = gate(baseline, grouped, 0.35)
+	if len(res.Regressions) != 1 || !strings.Contains(res.Regressions[0], "NoDMR/oltp/s13") {
+		t.Fatalf("missing cell not flagged: %v", res.Regressions)
 	}
 }
 
@@ -115,6 +162,7 @@ func TestBuildUpdateEntry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	grouped := groupCells(samples)
 	prev := baselineEntry{
 		PR: 4,
 		CyclesPerSec: map[string]baselineKind{
@@ -124,7 +172,7 @@ func TestBuildUpdateEntry(t *testing.T) {
 			"Retired": {After: 1},
 		},
 	}
-	raw, err := buildUpdateEntry(prev, samples, 5, "2026-07-29", "test change")
+	raw, err := buildUpdateEntry(prev, grouped, 5, "2026-07-29", "test change")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,14 +188,22 @@ func TestBuildUpdateEntry(t *testing.T) {
 	if entry.PR != 5 || entry.Date != "2026-07-29" || entry.Change != "test change" {
 		t.Fatalf("header: %+v", entry)
 	}
-	// Known kinds: median becomes after, previous after becomes before.
+	// Known kinds: primary-cell median becomes after, previous after
+	// becomes before.
 	nd := entry.CyclesPerSec["NoDMR"]
 	if nd.After != 1600000 || nd.Before != 1500000 || nd.Speedup != 1.07 {
 		t.Fatalf("NoDMR: %+v", nd)
 	}
-	// Appended entries record the spread behind the median too.
+	// Appended entries record the spread behind the median too — the
+	// primary cell's inline, every cell's in the cells map.
 	if nd.Min != 1500000 || nd.Max != 1700000 {
 		t.Fatalf("NoDMR spread in entry: %+v", nd)
+	}
+	if cs := nd.Cells["oltp/s12"]; cs.Median != 2000000 || cs.Min != 2000000 || cs.Max != 2000000 {
+		t.Fatalf("NoDMR cells in entry: %+v", nd.Cells)
+	}
+	if cs := nd.Cells[primaryCell]; cs.Median != 1600000 {
+		t.Fatalf("NoDMR primary cell in entry: %+v", nd.Cells)
 	}
 	// A kind new to the suite records only an after — the exact case
 	// the gate's missing-kind check could previously only fail on.
@@ -158,12 +214,13 @@ func TestBuildUpdateEntry(t *testing.T) {
 	if _, ok := entry.CyclesPerSec["Retired"]; ok {
 		t.Fatal("retired kind resurrected")
 	}
-	// The gate accepts the appended entry as its new baseline.
+	// The gate accepts the appended entry as its new baseline — now
+	// including the per-cell checks.
 	var latest baselineEntry
 	if err := json.Unmarshal(raw, &latest); err != nil {
 		t.Fatal(err)
 	}
-	res := gate(latest.CyclesPerSec, samples, 0.35)
+	res := gate(latest.CyclesPerSec, grouped, 0.35)
 	if len(res.Regressions) != 0 {
 		t.Fatalf("fresh entry gates its own samples: %v", res.Regressions)
 	}

@@ -39,6 +39,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
@@ -59,6 +60,9 @@ func main() {
 		name      = flag.String("name", "", "worker name reported to coordinators (default: the listen address)")
 		capacity  = flag.Int("capacity", runtime.NumCPU(), "concurrent leased jobs in -worker mode")
 		debug     = flag.Bool("debug", false, "expose /debug/pprof profiling endpoints")
+		journals  = flag.String("journals", "", "run-journal directory (default <cache>/journals; 'none' keeps journals in memory only)")
+		traceDir  = flag.String("trace-dir", "", "write flight-recorder traces for simulated jobs here (empty disables)")
+		traceSel  = flag.String("trace-match", "", "only trace jobs whose key contains this substring")
 	)
 	flag.Parse()
 
@@ -76,14 +80,33 @@ func main() {
 	defer stop()
 
 	if *worker {
-		runWorker(ctx, *addr, *name, *capacity, cache, *debug)
+		runWorker(ctx, *addr, *name, *capacity, cache, *debug, *traceDir, *traceSel)
 		return
+	}
+
+	// Journals persist beside the result cache by default; "none" (or
+	// running cacheless without an explicit -journals) keeps the event
+	// streams in memory only.
+	journalDir := *journals
+	switch journalDir {
+	case "":
+		if *cacheDir != "" {
+			journalDir = filepath.Join(*cacheDir, "journals")
+		}
+	case "none":
+		journalDir = ""
 	}
 
 	srv := newServer(ctx, cache, *parallel, *campaigns)
 	srv.fleet = campaign.ParseWorkerList(*workers)
 	srv.coordAddr = *coord
 	srv.debug = *debug
+	srv.journalDir = journalDir
+	srv.traceDir = *traceDir
+	srv.traceMatch = *traceSel
+	if journalDir != "" {
+		log.Printf("mmmd: run journals at %s", journalDir)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 
 	go func() {
@@ -117,22 +140,26 @@ func main() {
 // it abandons in-flight leases — coordinators expire and reassign
 // them, and per-job derived seeds make the reassigned runs
 // byte-identical — so killing a worker never corrupts a campaign.
-func runWorker(ctx context.Context, addr, name string, capacity int, cache campaign.Cache, debug bool) {
+func runWorker(ctx context.Context, addr, name string, capacity int, cache campaign.Cache, debug bool, traceDir, traceMatch string) {
 	if name == "" {
 		name = addr
 	}
-	// jobSeconds is bound after the worker exists (the registry's
-	// collector snapshots the worker's counters); Observe on a nil
-	// histogram is a no-op, so the indirection is safe.
+	// jobSeconds and traces are bound after the worker exists (the
+	// registry's collector snapshots the worker's counters); Observe on
+	// a nil histogram is a no-op, so the indirection is safe.
 	var jobSeconds *obs.Histogram
+	var traces *traceCounters
 	w := campaign.NewWorker(campaign.WorkerOptions{
-		Name:      name,
-		Capacity:  capacity,
-		Cache:     cache,
-		OnJobTime: func(d time.Duration) { jobSeconds.Observe(d.Seconds()) },
+		Name:       name,
+		Capacity:   capacity,
+		Cache:      cache,
+		OnJobTime:  func(d time.Duration) { jobSeconds.Observe(d.Seconds()) },
+		TraceDir:   traceDir,
+		TraceMatch: traceMatch,
+		OnTrace:    func(total, dropped uint64) { traces.add(total, dropped) },
 	})
-	reg, js := workerRegistry(w, time.Now())
-	jobSeconds = js
+	reg, js, tc := workerRegistry(w, time.Now())
+	jobSeconds, traces = js, tc
 
 	// Worker nodes expose the same observability surface as the
 	// coordinator: /metrics always, pprof only behind -debug. The

@@ -10,8 +10,10 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
@@ -81,15 +83,63 @@ func (s *server) initMetrics() {
 				Help: "Result-cache stores across all campaigns.", Type: "counter",
 				Value: float64(puts)})
 		}
+		emit(obs.Sample{Name: "mmmd_journal_bytes",
+			Help: "On-disk bytes across retained run journals.", Type: "gauge",
+			Value: float64(journalBytes(s.journalDir))})
+		emit(obs.Sample{Name: "mmmd_trace_events_total",
+			Help: "Flight-recorder events captured by traced local jobs.", Type: "counter",
+			Value: float64(s.traceEvents.Load())})
+		emit(obs.Sample{Name: "mmmd_trace_events_dropped_total",
+			Help: "Flight-recorder events dropped by the ring buffer (traced local jobs).", Type: "counter",
+			Value: float64(s.traceDropped.Load())})
 	})
 }
 
+// journalBytes sums the run-journal files on disk; 0 when journaling
+// is memory-only. Scrape-time stat of at most retain+live files — far
+// off any hot path.
+func journalBytes(dir string) int64 {
+	if dir == "" {
+		return 0
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".journal.jsonl") {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// traceCounters accumulates flight-recorder volume across traced
+// jobs, for the worker-mode /metrics exposition.
+type traceCounters struct {
+	events, dropped atomic.Uint64
+}
+
+func (t *traceCounters) add(total, dropped uint64) {
+	if t == nil {
+		return
+	}
+	t.events.Add(total)
+	t.dropped.Add(dropped)
+}
+
 // workerRegistry builds the -worker mode registry: the worker's pull
-// counters plus the shared job-latency histogram fed via OnJobTime.
-func workerRegistry(w *campaign.Worker, started time.Time) (*obs.Registry, *obs.Histogram) {
+// counters plus the shared job-latency histogram fed via OnJobTime and
+// the flight-recorder volume counters fed via OnTrace.
+func workerRegistry(w *campaign.Worker, started time.Time) (*obs.Registry, *obs.Histogram, *traceCounters) {
 	r := obs.NewRegistry()
 	jobSeconds := r.Histogram("mmmd_job_seconds",
 		"Wall time of leased jobs this worker simulated (local cache hits excluded).", nil)
+	tc := &traceCounters{}
 	r.RegisterCollector(func(emit func(obs.Sample)) {
 		st := w.Stats()
 		emit(obs.Sample{Name: "mmmd_uptime_seconds",
@@ -113,8 +163,14 @@ func workerRegistry(w *campaign.Worker, started time.Time) (*obs.Registry, *obs.
 		emit(obs.Sample{Name: "mmmd_worker_leases_lost_total",
 			Help: "Leases revoked or expired under this worker.", Type: "counter",
 			Value: float64(st.LeasesLost)})
+		emit(obs.Sample{Name: "mmmd_trace_events_total",
+			Help: "Flight-recorder events captured by traced leased jobs.", Type: "counter",
+			Value: float64(tc.events.Load())})
+		emit(obs.Sample{Name: "mmmd_trace_events_dropped_total",
+			Help: "Flight-recorder events dropped by the ring buffer (traced leased jobs).", Type: "counter",
+			Value: float64(tc.dropped.Load())})
 	})
-	return r, jobSeconds
+	return r, jobSeconds, tc
 }
 
 // metricsHandler serves a registry as Prometheus text exposition.
@@ -145,6 +201,17 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streaming responses (the
+// SSE events endpoint) flush through the access-log middleware —
+// without this, the http.Flusher assertion in the SSE handler would
+// see only the wrapper and every event would sit in the buffer until
+// the run ended.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // routeLabel collapses a request path onto its route pattern (bounded

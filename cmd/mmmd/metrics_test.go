@@ -84,10 +84,12 @@ func TestAccessLogCountsRequests(t *testing.T) {
 		t.Fatalf("campaign: %+v", st)
 	}
 	do(t, http.MethodGet, ts.URL+"/campaigns/c1/results", "")
+	do(t, http.MethodGet, ts.URL+"/campaigns/c1/events?after=999999", "")
 	_, data := do(t, http.MethodGet, ts.URL+"/metrics", "")
 	for _, want := range []string{
 		`path="/campaigns/{id}"`,
 		`path="/campaigns/{id}/results"`,
+		`path="/campaigns/{id}/events"`,
 		`method="POST"`,
 	} {
 		if !bytes.Contains(data, []byte(want)) {
@@ -105,6 +107,7 @@ func TestRouteLabel(t *testing.T) {
 	}{
 		{"/campaigns/c12", "/campaigns/{id}", "c12"},
 		{"/campaigns/c3/results", "/campaigns/{id}/results", "c3"},
+		{"/campaigns/c7/events", "/campaigns/{id}/events", "c7"},
 		{"/campaigns/c3/cancel", "/campaigns/{id}/cancel", "c3"},
 		{"/campaigns", "/campaigns", ""},
 		{"/status", "/status", ""},
@@ -163,8 +166,9 @@ func TestServiceStatusIncludesRuns(t *testing.T) {
 func TestWorkerRegistryExposition(t *testing.T) {
 	w := campaign.NewWorker(campaign.WorkerOptions{Name: "wx", Capacity: 3})
 	t.Cleanup(w.Stop)
-	reg, jobSeconds := workerRegistry(w, time.Now())
+	reg, jobSeconds, traces := workerRegistry(w, time.Now())
 	jobSeconds.Observe(0.25)
+	traces.add(100, 7)
 
 	var buf bytes.Buffer
 	if err := reg.WritePrometheus(&buf); err != nil {
@@ -183,6 +187,8 @@ func TestWorkerRegistryExposition(t *testing.T) {
 		"mmmd_worker_jobs_failed_total",
 		"mmmd_worker_leases_lost_total",
 		"mmmd_job_seconds",
+		"mmmd_trace_events_total",
+		"mmmd_trace_events_dropped_total",
 	} {
 		if f := fams[want]; f == nil || len(f.Series) == 0 {
 			t.Errorf("worker family %s missing\n%s", want, buf.String())
@@ -193,5 +199,8 @@ func TestWorkerRegistryExposition(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "mmmd_job_seconds_count 1") {
 		t.Errorf("job histogram not fed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "mmmd_trace_events_dropped_total 7") {
+		t.Errorf("trace drop counter not fed:\n%s", buf.String())
 	}
 }

@@ -5,9 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
@@ -63,9 +67,15 @@ type run struct {
 	errMsg   string
 	wall     time.Duration
 	rows     []stats.Row
+	report   *campaign.Report // wall-clock attribution, set at terminal state
 	started  time.Time
 	finished time.Time
 	cancel   context.CancelFunc
+
+	// jnl is the run's event journal, created at submission (before the
+	// execute goroutine starts) and never reassigned, so reads need no
+	// lock; the journal itself is internally synchronized.
+	jnl *campaign.Journal
 }
 
 // runStatus is the JSON rendering of a run's state.
@@ -80,22 +90,26 @@ type runStatus struct {
 	Workers  int            `json:"workers,omitempty"`
 	Error    string         `json:"error,omitempty"`
 	WallMS   int64          `json:"wall_ms,omitempty"`
+	// Attribution is the journal-derived wall-clock report, present
+	// once the run reaches a terminal state.
+	Attribution *campaign.Report `json:"attribution,omitempty"`
 }
 
 func (r *run) snapshot() runStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return runStatus{
-		ID:       r.id,
-		Name:     r.name,
-		Scale:    r.scale,
-		Status:   r.status,
-		Jobs:     r.total,
-		Done:     r.done,
-		CacheHit: r.hits,
-		Workers:  r.workers,
-		Error:    r.errMsg,
-		WallMS:   r.wall.Milliseconds(),
+		ID:          r.id,
+		Name:        r.name,
+		Scale:       r.scale,
+		Status:      r.status,
+		Jobs:        r.total,
+		Done:        r.done,
+		CacheHit:    r.hits,
+		Workers:     r.workers,
+		Error:       r.errMsg,
+		WallMS:      r.wall.Milliseconds(),
+		Attribution: r.report,
 	}
 }
 
@@ -109,17 +123,20 @@ const defaultRetainRuns = 128
 // a shared result cache, so overlapping campaigns reuse each other's
 // simulations.
 type server struct {
-	cache     campaign.Cache
-	counting  *campaign.CountingCache // same cache, for /status counters; nil when caching is off
-	parallel  int
-	fleet     []string // default worker URLs; empty = local execution
-	coordAddr string   // job-board bind address for distributed runs
-	retain    int      // completed runs kept; older ones are evicted
-	debug     bool     // mount /debug/pprof
-	sem       chan struct{}
-	baseCtx   context.Context
-	wg        sync.WaitGroup
-	started   time.Time
+	cache      campaign.Cache
+	counting   *campaign.CountingCache // same cache, for /status counters; nil when caching is off
+	parallel   int
+	fleet      []string // default worker URLs; empty = local execution
+	coordAddr  string   // job-board bind address for distributed runs
+	retain     int      // completed runs kept; older ones are evicted
+	debug      bool     // mount /debug/pprof
+	journalDir string   // run journals (JSONL); "" keeps journals in memory only
+	traceDir   string   // flight-recorder traces for local jobs; "" disables
+	traceMatch string   // substring filter on traced jobs' keys
+	sem        chan struct{}
+	baseCtx    context.Context
+	wg         sync.WaitGroup
+	started    time.Time
 
 	// Telemetry (initMetrics): the /metrics registry, the fleet lease
 	// instruments handed to dispatchers, and the local job-latency
@@ -127,6 +144,10 @@ type server struct {
 	reg        *obs.Registry
 	fleetObs   *campaign.FleetObs
 	jobSeconds *obs.Histogram
+
+	// Flight-recorder volume counters, fed by engine OnTrace callbacks.
+	traceEvents  atomic.Uint64
+	traceDropped atomic.Uint64
 
 	mu      sync.Mutex
 	seq     int
@@ -182,6 +203,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
 	if s.debug {
 		mountPprof(mux)
@@ -261,6 +283,21 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	s.runs[r.id] = r
 	s.mu.Unlock()
 
+	// Every run gets a journal; -journals decides whether it also
+	// persists as JSONL. A journal-file error degrades to memory-only
+	// rather than rejecting the submission — journaling is
+	// observational, never load-bearing for the campaign.
+	var jpath string
+	if s.journalDir != "" {
+		jpath = filepath.Join(s.journalDir, r.id+".journal.jsonl")
+	}
+	jnl, jerr := campaign.NewJournal(r.id, jpath)
+	if jerr != nil {
+		log.Printf("mmmd: journal for %s: %v (falling back to memory-only)", r.id, jerr)
+		jnl, _ = campaign.NewJournal(r.id, "")
+	}
+	r.jnl = jnl
+
 	s.wg.Add(1)
 	go s.execute(ctx, r, jobs, fleet)
 
@@ -281,7 +318,9 @@ func (s *server) execute(ctx context.Context, r *run, jobs []campaign.Job, fleet
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
+		r.jnl.Finish(ctx.Err())
 		r.finish(nil, nil, ctx.Err())
+		r.attribute()
 		s.reap()
 		return
 	}
@@ -304,6 +343,7 @@ func (s *server) execute(ctx context.Context, r *run, jobs []campaign.Job, fleet
 			Addr:       campaign.CoordinatorAddr(s.coordAddr),
 			OnProgress: onProgress,
 			Obs:        s.fleetObs,
+			Journal:    r.jnl,
 		})
 	} else {
 		runner = campaign.New(campaign.Options{
@@ -311,16 +351,38 @@ func (s *server) execute(ctx context.Context, r *run, jobs []campaign.Job, fleet
 			Cache:      s.cache,
 			OnProgress: onProgress,
 			OnJobTime:  func(d time.Duration) { s.jobSeconds.Observe(d.Seconds()) },
+			Journal:    r.jnl,
+			TraceDir:   s.traceDir,
+			TraceMatch: s.traceMatch,
+			OnTrace: func(total, dropped uint64) {
+				s.traceEvents.Add(total)
+				s.traceDropped.Add(dropped)
+			},
 		})
 	}
 	rs, err := runner.Run(ctx, r.scale, jobs)
+	r.jnl.Finish(err)
 	if err != nil {
 		r.finish(nil, nil, err)
+		r.attribute()
 		s.reap()
 		return
 	}
 	r.finish(rs, campaign.Summarize(rs), nil)
+	r.attribute()
 	s.reap()
+}
+
+// attribute derives the run's wall-clock attribution report from its
+// journal; called once the run is terminal (the journal is closed).
+func (r *run) attribute() {
+	if r.jnl == nil {
+		return
+	}
+	rep := campaign.Attribute(r.id, r.jnl.Events())
+	r.mu.Lock()
+	r.report = &rep
+	r.mu.Unlock()
 }
 
 // reap enforces the completed-run retention cap: when more than retain
@@ -346,6 +408,13 @@ func (s *server) reap() {
 	for _, r := range terminal[:len(terminal)-s.retain] {
 		delete(s.runs, r.id)
 		s.evicted++
+		// The retention cap bounds journal disk too: an evicted run's
+		// JSONL file goes with it.
+		if p := r.jnl.Path(); p != "" {
+			if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+				log.Printf("mmmd: evict journal %s: %v", p, err)
+			}
+		}
 	}
 }
 

@@ -8,6 +8,15 @@
 //	curl -fsS localhost:8077/metrics | obscheck \
 //	    -required mmmd_uptime_seconds,mmmd_campaign_runs -min-series 12
 //	obscheck -in scrape.txt -required mmmd_cache_hits_total
+//
+// With -journal, obscheck instead validates a campaign run journal
+// (JSONL): structural invariants (strictly increasing sequence,
+// expanded first, merged events exactly once per cell in expansion
+// order, terminal event last), plus -required reinterpreted as event
+// types that must appear, and -complete demanding every cell merged.
+//
+//	obscheck -journal mmmd-cache/journals/c1.journal.jsonl \
+//	    -required expanded,merged -complete
 package main
 
 import (
@@ -18,17 +27,25 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/obs"
 )
 
 func main() {
 	var (
 		inPath    = flag.String("in", "-", "exposition text to validate ('-' = stdin)")
-		required  = flag.String("required", "", "comma-separated metric family names that must be present")
+		required  = flag.String("required", "", "comma-separated metric family names (or, with -journal, event types) that must be present")
 		minSeries = flag.Int("min-series", 0, "minimum total sample series across all families")
 		list      = flag.Bool("list", false, "print every family (name, type, series count) after validating")
+		journal   = flag.String("journal", "", "validate a run-journal JSONL file instead of a metrics exposition")
+		complete  = flag.Bool("complete", false, "with -journal: require every cell merged")
 	)
 	flag.Parse()
+
+	if *journal != "" {
+		checkJournal(*journal, *required, *complete)
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if *inPath != "-" {
@@ -80,6 +97,38 @@ func main() {
 		fatal("only %d sample series, need at least %d", total, *minSeries)
 	}
 	fmt.Printf("obscheck: ok (%d families, %d series)\n", len(fams), total)
+}
+
+// checkJournal validates a run journal's structure and required event
+// vocabulary; exits like the metrics path (0 ok, 1 with the reason).
+func checkJournal(path, required string, complete bool) {
+	events, err := campaign.ReadJournalFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	chk, err := campaign.ValidateEvents(events)
+	if err != nil {
+		fatal("invalid journal %s: %v", path, err)
+	}
+	var missing []string
+	for _, name := range strings.Split(required, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if chk.Types[campaign.EventType(name)] == 0 {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fatal("journal %s missing required event types: %s", path, strings.Join(missing, ", "))
+	}
+	if complete && !chk.Complete {
+		fatal("journal %s incomplete: %d/%d cells merged, outcome %s",
+			path, chk.Merged, chk.Total, chk.Outcome)
+	}
+	fmt.Printf("obscheck: journal ok (%d events, %d/%d cells merged, outcome %s)\n",
+		chk.Events, chk.Merged, chk.Total, chk.Outcome)
 }
 
 func fatal(format string, args ...any) {

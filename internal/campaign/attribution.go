@@ -1,0 +1,249 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Wall-clock attribution over a run journal: where did the campaign's
+// time actually go? Per-worker busy seconds and utilization, the
+// cache-hit ratio, straggler cells and per-group (workload x kind)
+// job-seconds percentiles, and the lease-churn counters
+// (reassignments, missed heartbeats) — everything "Producing Wrong
+// Data Without Doing Anything Obviously Wrong" says a single median
+// hides. Computed purely from journal events, so it works live
+// (mmmtail -follow), post-hoc (mmmtail -report) and in GET
+// /campaigns/{id}.
+
+// WorkerReport is one worker's share of a run.
+type WorkerReport struct {
+	Worker string `json:"worker"`
+	// Jobs counts completions (cache hits are coordinator-local and
+	// attributed to no worker).
+	Jobs     int `json:"jobs"`
+	Failures int `json:"failures"`
+	// BusySeconds sums the worker's completed-attempt wall times;
+	// BusyPct is that against the run's wall clock — the utilization of
+	// a dedicated worker (time not busy was idle or lost to churn).
+	BusySeconds float64 `json:"busy_seconds"`
+	BusyPct     float64 `json:"busy_pct"`
+}
+
+// GroupReport aggregates job seconds per workload x kind group —
+// the straggler axis: a group whose p99 dwarfs its p50 is where the
+// fleet's tail lives.
+type GroupReport struct {
+	Group string  `json:"group"`
+	Jobs  int     `json:"jobs"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	Max   float64 `json:"max_seconds"`
+}
+
+// CellReport is one straggler: a slowest-N simulated cell.
+type CellReport struct {
+	Cell    int     `json:"cell"`
+	Key     string  `json:"key"`
+	Worker  string  `json:"worker,omitempty"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Report is the wall-clock attribution of one run.
+type Report struct {
+	Run              string         `json:"run,omitempty"`
+	Outcome          string         `json:"outcome"`
+	Cells            int            `json:"cells"`
+	Merged           int            `json:"merged"`
+	CacheHits        int            `json:"cache_hits"`
+	CacheHitPct      float64        `json:"cache_hit_pct"`
+	WallSeconds      float64        `json:"wall_seconds"`
+	BusySeconds      float64        `json:"busy_seconds"`
+	Failures         int            `json:"failures"`
+	Reassignments    int            `json:"reassignments"`
+	HeartbeatsMissed int            `json:"heartbeats_missed"`
+	Workers          []WorkerReport `json:"workers,omitempty"`
+	Groups           []GroupReport  `json:"groups,omitempty"`
+	Stragglers       []CellReport   `json:"stragglers,omitempty"`
+}
+
+// maxStragglers bounds the slowest-cells list.
+const maxStragglers = 5
+
+// Attribute computes the wall-clock attribution report from a run's
+// journal events. Incomplete journals (a live or crashed run) are
+// fine: the report covers whatever has been journaled so far.
+func Attribute(runID string, events []Event) Report {
+	rep := Report{Run: runID, Outcome: "running"}
+	if len(events) == 0 {
+		return rep
+	}
+	rep.WallSeconds = events[len(events)-1].Time.Sub(events[0].Time).Seconds()
+
+	workers := map[string]*WorkerReport{}
+	workerOf := func(name string) *WorkerReport {
+		w := workers[name]
+		if w == nil {
+			w = &WorkerReport{Worker: name}
+			workers[name] = w
+		}
+		return w
+	}
+	type cellTime struct {
+		cell    int
+		key     string
+		worker  string
+		seconds float64
+	}
+	var simulated []cellTime
+	groups := map[string][]float64{}
+
+	for i := range events {
+		ev := &events[i]
+		switch ev.Type {
+		case EventExpanded:
+			rep.Cells = ev.Total
+		case EventCacheHit:
+			rep.CacheHits++
+		case EventCompleted:
+			w := workerOf(ev.Worker)
+			w.Jobs++
+			w.BusySeconds += float64(ev.WallMS) / 1000
+		case EventFailed:
+			if ev.Cell >= 0 {
+				rep.Failures++
+				if ev.Worker != "" {
+					workerOf(ev.Worker).Failures++
+				}
+			} else {
+				rep.Outcome = "failed"
+			}
+		case EventCanceled:
+			if ev.Cell == -1 {
+				rep.Outcome = "canceled"
+			}
+		case EventReassigned:
+			rep.Reassignments++
+		case EventHeartbeatMissed:
+			rep.HeartbeatsMissed++
+			if ev.Worker != "" {
+				workerOf(ev.Worker).Failures++
+			}
+		case EventMerged:
+			rep.Merged++
+			if !ev.Hit && ev.Job != nil {
+				secs := float64(ev.WallMS) / 1000
+				simulated = append(simulated, cellTime{ev.Cell, ev.Key, ev.Worker, secs})
+				g := ev.Job.Workload + "/" + ev.Job.Kind.String()
+				groups[g] = append(groups[g], secs)
+			}
+		}
+	}
+	if rep.Cells > 0 && rep.Merged == rep.Cells && rep.Outcome == "running" {
+		rep.Outcome = "done"
+	}
+	if rep.Merged > 0 {
+		rep.CacheHitPct = 100 * float64(rep.CacheHits) / float64(rep.Merged)
+	}
+
+	names := make([]string, 0, len(workers))
+	for n := range workers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w := workers[n]
+		rep.BusySeconds += w.BusySeconds
+		if rep.WallSeconds > 0 {
+			w.BusyPct = 100 * w.BusySeconds / rep.WallSeconds
+		}
+		rep.Workers = append(rep.Workers, *w)
+	}
+
+	gnames := make([]string, 0, len(groups))
+	for g := range groups {
+		gnames = append(gnames, g)
+	}
+	sort.Strings(gnames)
+	for _, g := range gnames {
+		secs := groups[g]
+		sort.Float64s(secs)
+		rep.Groups = append(rep.Groups, GroupReport{
+			Group: g,
+			Jobs:  len(secs),
+			P50:   percentile(secs, 50),
+			P95:   percentile(secs, 95),
+			P99:   percentile(secs, 99),
+			Max:   secs[len(secs)-1],
+		})
+	}
+
+	sort.Slice(simulated, func(i, k int) bool {
+		if simulated[i].seconds != simulated[k].seconds {
+			return simulated[i].seconds > simulated[k].seconds
+		}
+		return simulated[i].cell < simulated[k].cell
+	})
+	if len(simulated) > maxStragglers {
+		simulated = simulated[:maxStragglers]
+	}
+	for _, c := range simulated {
+		rep.Stragglers = append(rep.Stragglers, CellReport{
+			Cell: c.cell, Key: c.key, Worker: c.worker, Seconds: c.seconds})
+	}
+	return rep
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted
+// samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// WriteText renders the report for terminals (mmmtail).
+func (r Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "run %s: %s — %d/%d cells merged, %d cache hits (%.0f%%), wall %.2fs\n",
+		orDash(r.Run), r.Outcome, r.Merged, r.Cells, r.CacheHits, r.CacheHitPct, r.WallSeconds)
+	if r.Failures > 0 || r.Reassignments > 0 || r.HeartbeatsMissed > 0 {
+		fmt.Fprintf(w, "churn: %d failed attempts, %d reassignments, %d missed heartbeats\n",
+			r.Failures, r.Reassignments, r.HeartbeatsMissed)
+	}
+	if len(r.Workers) > 0 {
+		fmt.Fprintf(w, "workers:\n")
+		for _, wr := range r.Workers {
+			fmt.Fprintf(w, "  %-16s %4d jobs  busy %8.2fs  util %5.1f%%  failures %d\n",
+				wr.Worker, wr.Jobs, wr.BusySeconds, wr.BusyPct, wr.Failures)
+		}
+	}
+	if len(r.Groups) > 0 {
+		fmt.Fprintf(w, "job seconds by workload/kind (p50/p95/p99/max):\n")
+		for _, g := range r.Groups {
+			fmt.Fprintf(w, "  %-28s %3d jobs  %6.2f %6.2f %6.2f %6.2f\n",
+				g.Group, g.Jobs, g.P50, g.P95, g.P99, g.Max)
+		}
+	}
+	if len(r.Stragglers) > 0 {
+		fmt.Fprintf(w, "stragglers:\n")
+		for _, s := range r.Stragglers {
+			fmt.Fprintf(w, "  cell %-4d %-32s %6.2fs  %s\n", s.Cell, s.Key, s.Seconds, orDash(s.Worker))
+		}
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

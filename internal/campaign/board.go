@@ -35,6 +35,11 @@ type board struct {
 	onComplete func(idx int, m core.Metrics) error
 	// fobs instruments the lease protocol; nil records nothing.
 	fobs *FleetObs
+	// jnl journals the lease lifecycle (leased, started, reassigned,
+	// heartbeat_missed, completed/failed, merged); nil records nothing.
+	// Journal methods take only the journal's own lock, so calling them
+	// under b.mu cannot deadlock.
+	jnl *Journal
 
 	mu          sync.Mutex
 	lastContact time.Time // any worker request; stall detection
@@ -177,6 +182,10 @@ func (b *board) handleLease(w http.ResponseWriter, req *http.Request) {
 	b.inflight++
 	b.fobs.LeaseGranted(lr.Worker, b.attempts[idx] > 0)
 	j := b.jobs[idx]
+	// Workers lease only into a free slot and simulate immediately, so
+	// the lease grant is also the start of execution.
+	b.jnl.Leased(idx, j, lr.Worker, b.attempts[idx]+1)
+	b.jnl.Started(idx, j, lr.Worker, b.attempts[idx]+1)
 	writeJSONTo(w, http.StatusOK, leaseResponse{
 		LeaseID:     l.id,
 		Job:         j,
@@ -228,12 +237,15 @@ func (b *board) handleComplete(w http.ResponseWriter, req *http.Request) {
 
 	idx := l.idx
 	if cr.Error != "" {
+		b.jnl.CellFailed(idx, b.jobs[idx], l.worker, b.attempts[idx]+1, cr.Error)
 		b.jobFailedLocked(idx, l.worker, fmt.Errorf("campaign: worker %s: job %s: %s",
 			l.worker, b.jobs[idx].Key(), cr.Error))
 		writeJSONTo(w, http.StatusOK, map[string]string{"status": "recorded"})
 		return
 	}
 	if want := b.jobs[idx].Fingerprint(b.sc); cr.Fingerprint != want || cr.Metrics == nil {
+		b.jnl.CellFailed(idx, b.jobs[idx], l.worker, b.attempts[idx]+1,
+			fmt.Sprintf("fingerprint mismatch: got %q want %q", cr.Fingerprint, want))
 		b.jobFailedLocked(idx, l.worker, fmt.Errorf(
 			"campaign: worker %s returned fingerprint %q for job %s (want %q)",
 			l.worker, cr.Fingerprint, b.jobs[idx].Key(), want))
@@ -248,6 +260,8 @@ func (b *board) handleComplete(w http.ResponseWriter, req *http.Request) {
 	b.results[idx] = *cr.Metrics
 	b.done++
 	b.workerLocked(l.worker).failures = 0
+	b.jnl.CellDone(idx, b.jobs[idx], *cr.Metrics, false, l.worker,
+		time.Since(l.granted), b.attempts[idx]+1)
 	if b.onComplete != nil {
 		if err := b.onComplete(idx, *cr.Metrics); err != nil {
 			b.closeLocked(err)
@@ -313,6 +327,7 @@ func (b *board) reap(now time.Time) {
 		l.ended = true
 		b.inflight--
 		b.fobs.LeaseExpired(l.worker)
+		b.jnl.HeartbeatMissed(l.idx, b.jobs[l.idx], l.worker, b.attempts[l.idx]+1)
 		b.jobFailedLocked(l.idx, l.worker, fmt.Errorf(
 			"campaign: worker %s lease on job %s expired %d times",
 			l.worker, b.jobs[l.idx].Key(), b.attempts[l.idx]+1))

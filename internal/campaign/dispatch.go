@@ -51,6 +51,10 @@ type DispatchOptions struct {
 	// Obs, when non-nil, instruments the lease protocol (grants,
 	// expiries, reassignments, job latencies, worker liveness).
 	Obs *FleetObs
+	// Journal, when non-nil, receives the run's lifecycle events —
+	// expansion, cache hits, lease grants/reassignments, completions
+	// and merges — mirroring Options.Journal for distributed runs.
+	Journal *Journal
 }
 
 // Dispatcher is the remote Runner: it shards a campaign's uncached
@@ -98,6 +102,7 @@ func (d *Dispatcher) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet,
 	}
 	start := time.Now()
 	rs := &ResultSet{Scale: sc, Results: make([]Result, len(jobs))}
+	d.opts.Journal.Begin(sc, jobs)
 
 	// Serve cache hits locally, exactly like the engine would.
 	var todo []int
@@ -111,6 +116,7 @@ func (d *Dispatcher) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet,
 		if d.opts.Cache != nil {
 			if m, ok := d.opts.Cache.Get(j.Fingerprint(sc)); ok {
 				rs.Results[i] = Result{Job: j, Metrics: m, CacheHit: true}
+				d.opts.Journal.CellDone(i, j, m, true, "", 0, 0)
 				done++
 				hits++
 				progress()
@@ -133,6 +139,7 @@ func (d *Dispatcher) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet,
 			return nil
 		})
 	b.fobs = d.opts.Obs
+	b.jnl = d.opts.Journal
 
 	if len(todo) > 0 {
 		ln, err := net.Listen("tcp", d.opts.Addr)

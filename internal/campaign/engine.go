@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -42,6 +43,15 @@ type Options struct {
 	// TraceMatch, when non-empty, restricts TraceDir to jobs whose
 	// aggregation key contains the substring.
 	TraceMatch string
+	// Journal, when non-nil, receives the run's lifecycle events
+	// (expansion, per-cell start/completion/merge). Purely
+	// observational: it never alters scheduling, fingerprints or
+	// results, and a nil Journal records nothing.
+	Journal *Journal
+	// OnTrace, when non-nil, is called after each traced job with the
+	// flight recorder's cumulative event and dropped-event counts for
+	// that job. Runs on worker goroutines; must be concurrency-safe.
+	OnTrace func(total, dropped uint64)
 }
 
 // Engine executes expanded job sets. It is stateless apart from its
@@ -96,6 +106,7 @@ func (e *Engine) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet, err
 	rs := &ResultSet{Scale: sc, Results: make([]Result, len(jobs))}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	e.opts.Journal.Begin(sc, jobs)
 
 	var (
 		mu       sync.Mutex
@@ -129,6 +140,9 @@ func (e *Engine) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet, err
 	var wg sync.WaitGroup
 	for w := 0; w < e.opts.Parallel; w++ {
 		wg.Add(1)
+		// The pool slot doubles as the journal's worker label for local
+		// runs, mirroring the worker names of distributed ones.
+		label := "local-" + strconv.Itoa(w)
 		go func() {
 			defer wg.Done()
 			// Per-worker scratch: each worker recycles the cache
@@ -143,14 +157,17 @@ func (e *Engine) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet, err
 				if e.opts.Cache != nil {
 					if m, ok := e.opts.Cache.Get(fp); ok {
 						rs.Results[i] = Result{Job: j, Metrics: m, CacheHit: true}
+						e.opts.Journal.CellDone(i, j, m, true, "", 0, 0)
 						finish(true)
 						continue
 					}
 				}
+				e.opts.Journal.Started(i, j, label, 1)
 				rec := traceRecorder(e.opts.TraceDir, e.opts.TraceMatch, j)
 				jobStart := time.Now()
 				m, err := runJob(sc, j, scratch, rec)
 				if err != nil {
+					e.opts.Journal.CellFailed(i, j, label, 1, err.Error())
 					fail(err)
 					return
 				}
@@ -162,6 +179,9 @@ func (e *Engine) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet, err
 						fail(err)
 						return
 					}
+					if e.opts.OnTrace != nil {
+						e.opts.OnTrace(rec.Total(), rec.Dropped())
+					}
 				}
 				if e.opts.Cache != nil {
 					if err := e.opts.Cache.Put(fp, m); err != nil {
@@ -170,6 +190,7 @@ func (e *Engine) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet, err
 					}
 				}
 				rs.Results[i] = Result{Job: j, Metrics: m}
+				e.opts.Journal.CellDone(i, j, m, false, label, time.Since(jobStart), 1)
 				finish(false)
 			}
 		}()

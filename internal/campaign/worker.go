@@ -40,6 +40,9 @@ type WorkerOptions struct {
 	// Never part of the job identity or the completion payload.
 	TraceDir   string
 	TraceMatch string
+	// OnTrace mirrors Options.OnTrace: per traced job, the flight
+	// recorder's event and dropped-event counts. Concurrency-safe.
+	OnTrace func(total, dropped uint64)
 }
 
 // Worker is the fleet-side runtime behind mmmd -worker: it serves an
@@ -386,6 +389,9 @@ func (w *Worker) runLeased(ctx context.Context, boardURL string, lr leaseRespons
 	if rec != nil {
 		if err := writeTrace(w.opts.TraceDir, lr.Job, rec); err != nil {
 			return nil, err
+		}
+		if w.opts.OnTrace != nil {
+			w.opts.OnTrace(rec.Total(), rec.Dropped())
 		}
 	}
 	if revoked.Load() || ctx.Err() != nil {
