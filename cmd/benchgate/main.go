@@ -129,15 +129,23 @@ func splitCell(name string) (kind, cell string) {
 	return name, primaryCell
 }
 
-// groupCells indexes parsed samples by kind, then cell.
+// groupCells indexes parsed samples by kind, then cell. Names are
+// walked in sorted order so that when two bench names fold into one
+// cell (legacy bare-kind lines plus explicit primary-cell lines) the
+// merged sample order does not depend on map iteration order.
 func groupCells(samples map[string][]float64) map[string]map[string][]float64 {
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	out := make(map[string]map[string][]float64)
-	for name, ss := range samples {
+	for _, name := range names {
 		k, c := splitCell(name)
 		if out[k] == nil {
 			out[k] = make(map[string][]float64)
 		}
-		out[k][c] = append(out[k][c], ss...)
+		out[k][c] = append(out[k][c], samples[name]...)
 	}
 	return out
 }

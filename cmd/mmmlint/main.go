@@ -1,0 +1,77 @@
+// Command mmmlint runs the repository's determinism-invariant
+// analyzer suite (internal/lint): detclock, maporder, nilsafe and
+// knobcover. It is both a standalone multichecker —
+//
+//	mmmlint ./...
+//	mmmlint -json ./...
+//	mmmlint -run detclock,maporder ./internal/core/...
+//
+// — and a vet tool speaking the go vet protocol:
+//
+//	go vet -vettool=$(which mmmlint) ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// `go vet -vettool=mmmlint` handshakes with -V=full / -flags and
+	// then passes a *.cfg compilation unit; handle that protocol before
+	// standalone flag parsing (it never returns on a vet invocation).
+	lint.VetToolMain(lint.All())
+
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array (file/line/col/analyzer/message)")
+		run     = flag.String("run", "", "comma-separated analyzer subset (default: all of detclock,maporder,nilsafe,knobcover)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mmmlint [-json] [-run analyzers] [packages]\n\n"+
+			"Runs the determinism-invariant analyzer suite over the packages\n"+
+			"(default ./...). Also usable as go vet -vettool=$(which mmmlint).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := lint.ByName(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmmlint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmmlint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmmlint:", err)
+		os.Exit(2)
+	}
+	if wd, err := os.Getwd(); err == nil {
+		lint.Relativize(wd, findings)
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "mmmlint:", err)
+			os.Exit(2)
+		}
+	} else if err := lint.WriteText(os.Stdout, findings); err != nil {
+		fmt.Fprintln(os.Stderr, "mmmlint:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

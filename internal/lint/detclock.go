@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DetClock forbids wall-clock reads, timers, environment reads and
+// global (process-wide) RNG inside the determinism boundary. Code
+// there must be a pure function of (config, seed): a time.Now or
+// os.Getenv that reaches a simulated decision silently decorrelates
+// local from distributed runs, traced from untraced runs, and cold
+// from cache-resumed runs — the exact class of "wrong data without
+// doing anything obviously wrong". Audited sites (none today) carry
+// //mmm:wallclock-ok <reason>.
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc: "forbid wall clock, timers, environment and global RNG inside the " +
+		"determinism-boundary packages",
+	Run: runDetClock,
+}
+
+// detclockForbidden maps package path -> symbol -> category used in
+// the diagnostic. Constructors taking an explicit source (rand.New,
+// rand.NewSource, rand.NewPCG) are deliberately absent: seeded local
+// RNG is how the simulator is supposed to get randomness.
+var detclockForbidden = map[string]map[string]string{
+	"time": {
+		"Now": "wall clock", "Since": "wall clock", "Until": "wall clock",
+		"Sleep": "wall-clock timer", "After": "wall-clock timer",
+		"Tick": "wall-clock timer", "AfterFunc": "wall-clock timer",
+		"NewTimer": "wall-clock timer", "NewTicker": "wall-clock timer",
+	},
+	"os": {
+		"Getenv": "environment read", "LookupEnv": "environment read",
+		"Environ": "environment read", "ExpandEnv": "environment read",
+	},
+	"math/rand": {
+		"Seed": "global RNG", "Int": "global RNG", "Intn": "global RNG",
+		"Int31": "global RNG", "Int31n": "global RNG", "Int63": "global RNG",
+		"Int63n": "global RNG", "Uint32": "global RNG", "Uint64": "global RNG",
+		"Float32": "global RNG", "Float64": "global RNG",
+		"ExpFloat64": "global RNG", "NormFloat64": "global RNG",
+		"Perm": "global RNG", "Shuffle": "global RNG", "Read": "global RNG",
+	},
+	"math/rand/v2": {
+		"Int": "global RNG", "IntN": "global RNG", "Int32": "global RNG",
+		"Int32N": "global RNG", "Int64": "global RNG", "Int64N": "global RNG",
+		"Uint": "global RNG", "UintN": "global RNG", "Uint32": "global RNG",
+		"Uint32N": "global RNG", "Uint64": "global RNG", "Uint64N": "global RNG",
+		"N": "global RNG", "Float32": "global RNG", "Float64": "global RNG",
+		"ExpFloat64": "global RNG", "NormFloat64": "global RNG",
+		"Perm": "global RNG", "Shuffle": "global RNG",
+	},
+}
+
+func runDetClock(pass *Pass) error {
+	boundary, ok := boundaryPackage(pass.Pkg.Path())
+	if !ok {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := usedPackage(pass.TypesInfo, sel.X)
+			if !ok {
+				return true
+			}
+			category, ok := detclockForbidden[pkgPath][sel.Sel.Name]
+			if !ok {
+				return true
+			}
+			if pass.Suppressed("wallclock-ok", sel.Pos()) {
+				return true
+			}
+			msg := "%s.%s (%s) is forbidden inside determinism-boundary package internal/%s: " +
+				"simulation must be a pure function of (config, seed); " +
+				"suppress with //mmm:wallclock-ok <reason> after an audit"
+			if d, found := pass.directiveAt("wallclock-ok", sel.Pos()); found && d.reason == "" {
+				msg = "%s.%s (%s) in internal/%s has a //mmm:wallclock-ok directive with no reason; " +
+					"audited suppressions must say why"
+			}
+			pass.Reportf(sel.Pos(), msg, pkgPath, sel.Sel.Name, category, boundary)
+			return true
+		})
+	}
+	return nil
+}

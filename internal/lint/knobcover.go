@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KnobCover cross-checks sweep-knob structs against their identity
+// functions. A struct annotated
+//
+//	//mmm:knobcover Fingerprint,Key,SimSeed
+//
+// promises that every one of its fields is read by (the transitive
+// closure of) the named functions. Adding a knob without folding it
+// into the fingerprint/key/seed derivation is the silent
+// cache-poisoning failure mode behind the SpecVersion discipline: two
+// jobs differing only in the new knob collide on one cached result and
+// the sweep quietly reports one cell's data for both. KnobCover makes
+// that a build error. Fields that are genuinely not part of a job's
+// identity carry //mmm:knobcover-exempt <reason>.
+//
+// In the real campaign package the contract is not optional: Knobs and
+// Job must carry the annotation, so deleting it is itself a finding.
+var KnobCover = &Analyzer{
+	Name: "knobcover",
+	Doc: "require every field of an //mmm:knobcover-annotated struct to be read " +
+		"by its fingerprint/key/seed coverage functions",
+	Run: runKnobCover,
+}
+
+func runKnobCover(pass *Pass) error {
+	campaignPkg := strings.HasSuffix(pass.Pkg.Path(), "internal/campaign")
+	declsByObj := funcDeclsByObject(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gen.Specs) == 1 {
+					doc = gen.Doc
+				}
+				st, isStruct := ts.Type.(*ast.StructType)
+				funcList, hasMarker := knobcoverMarker(doc)
+				if !hasMarker {
+					if campaignPkg && isStruct && (ts.Name.Name == "Knobs" || ts.Name.Name == "Job") {
+						pass.Reportf(ts.Name.Pos(),
+							"struct %s must declare its cache-identity contract with a "+
+								"//mmm:knobcover <coverage funcs> annotation (the campaign package's "+
+								"knob structs are always under coverage)", ts.Name.Name)
+					}
+					continue
+				}
+				if !isStruct {
+					pass.Reportf(ts.Name.Pos(),
+						"//mmm:knobcover annotation on %s, which is not a struct", ts.Name.Name)
+					continue
+				}
+				checkKnobStruct(pass, ts, st, funcList, declsByObj)
+			}
+		}
+	}
+	return nil
+}
+
+// knobcoverMarker extracts the coverage-function list from a doc
+// comment carrying //mmm:knobcover <funcs>.
+func knobcoverMarker(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if rest, ok := strings.CutPrefix(text, "mmm:knobcover"); ok && !strings.HasPrefix(rest, "-") {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// checkKnobStruct verifies one annotated struct.
+func checkKnobStruct(pass *Pass, ts *ast.TypeSpec, st *ast.StructType, funcList string, declsByObj map[types.Object]*ast.FuncDecl) {
+	names := splitNames(funcList)
+	if len(names) == 0 {
+		pass.Reportf(ts.Name.Pos(),
+			"//mmm:knobcover on %s names no coverage functions (want e.g. "+
+				"//mmm:knobcover Fingerprint,Key,SimSeed)", ts.Name.Name)
+		return
+	}
+	covered, missing := coverageSet(pass, names, declsByObj)
+	for _, m := range missing {
+		pass.Reportf(ts.Name.Pos(),
+			"//mmm:knobcover on %s names coverage function %q, which is not declared in this package",
+			ts.Name.Name, m)
+	}
+	display := strings.Join(names, ", ")
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 { // embedded field
+			if exemptField(pass, field) {
+				continue
+			}
+			pass.Reportf(field.Pos(),
+				"embedded field in knobcover struct %s cannot be verified; name it or annotate "+
+					"//mmm:knobcover-exempt <reason>", ts.Name.Name)
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if exemptField(pass, field) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil || covered[obj] {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"field %s.%s is not read by coverage functions (%s): a knob outside the "+
+					"fingerprint/key/seed derivation makes distinct configurations collide on one "+
+					"cached result; fold it in (and bump SpecVersion) or annotate "+
+					"//mmm:knobcover-exempt <reason>",
+				ts.Name.Name, name.Name, display)
+		}
+	}
+}
+
+// exemptField reports whether the field carries a reasoned
+// //mmm:knobcover-exempt directive (doc comment or trailing comment).
+// An exempt directive without a reason does not exempt: Suppressed
+// enforces the reason through the shared line index.
+func exemptField(pass *Pass, field *ast.Field) bool {
+	return pass.Suppressed("knobcover-exempt", field.Pos())
+}
+
+// splitNames parses the marker's comma/space-separated function list.
+func splitNames(s string) []string {
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	out := fields[:0]
+	for _, f := range fields {
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// funcDeclsByObject maps every function/method object declared in the
+// package to its declaration.
+func funcDeclsByObject(pass *Pass) map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// coverageSet walks the named functions and every same-package
+// function they (transitively) call, collecting all struct fields
+// read via selectors or set via composite-literal keys. It returns
+// the covered field objects and the marker names that resolved to no
+// declaration.
+func coverageSet(pass *Pass, names []string, declsByObj map[types.Object]*ast.FuncDecl) (map[types.Object]bool, []string) {
+	wanted := make(map[string]bool, len(names))
+	for _, n := range names {
+		wanted[n] = true
+	}
+	found := make(map[string]bool, len(names))
+	var work []*ast.FuncDecl
+	visited := make(map[*ast.FuncDecl]bool)
+	for obj, fd := range declsByObj {
+		if wanted[obj.Name()] {
+			found[obj.Name()] = true
+			if !visited[fd] {
+				visited[fd] = true
+				work = append(work, fd)
+			}
+		}
+	}
+	// Deterministic worklist order (map iteration above is random but
+	// the result is a set, so order only matters for bounded growth).
+	sort.Slice(work, func(i, j int) bool { return work[i].Pos() < work[j].Pos() })
+
+	covered := make(map[types.Object]bool)
+	for len(work) > 0 {
+		fd := work[0]
+		work = work[1:]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel := pass.TypesInfo.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+					covered[sel.Obj()] = true
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					if obj, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && obj.IsField() {
+						covered[obj] = true
+					}
+				}
+			case *ast.CallExpr:
+				if callee := calleeObject(pass, n); callee != nil {
+					if next, ok := declsByObj[callee]; ok && !visited[next] {
+						visited[next] = true
+						work = append(work, next)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	var missing []string
+	for _, n := range names {
+		if !found[n] {
+			missing = append(missing, n)
+		}
+	}
+	return covered, missing
+}
+
+// calleeObject resolves a call's target object (function or method)
+// when statically known.
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func fixture(elem ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, elem...)...)
+}
+
+// TestDetClockFixture: every forbidden category is caught inside the
+// boundary, the reasoned suppression and the seeded local RNG are
+// allowed, and a reasonless directive is called out.
+func TestDetClockFixture(t *testing.T) {
+	fs := linttest.Run(t, lint.DetClock, fixture("detclock", "boundary"), "repro/internal/core")
+	if len(fs) != 6 {
+		t.Errorf("detclock boundary fixture produced %d findings, want 6", len(fs))
+	}
+}
+
+// TestDetClockOutsideBoundary: identical calls in a non-boundary
+// package produce no findings at all.
+func TestDetClockOutsideBoundary(t *testing.T) {
+	fs := linttest.Run(t, lint.DetClock, fixture("detclock", "outside"), "repro/internal/campaign")
+	if len(fs) != 0 {
+		t.Errorf("detclock flagged %d sites outside the boundary, want 0", len(fs))
+	}
+}
+
+// TestMapOrderFixture: each sink kind fires, and the sorted-afterwards
+// pattern, the reasoned suppression and sink-free reductions do not.
+func TestMapOrderFixture(t *testing.T) {
+	fs := linttest.Run(t, lint.MapOrder, fixture("maporder", "sinks"), "example.com/mapsink")
+	if len(fs) != 4 {
+		t.Errorf("maporder fixture produced %d findings, want 4", len(fs))
+	}
+}
+
+// TestNilSafeFixture: the unguarded exported method is the only
+// finding; guards, value receivers, unexported methods, free functions
+// and the audited suppression all pass.
+func TestNilSafeFixture(t *testing.T) {
+	fs := linttest.Run(t, lint.NilSafe, fixture("nilsafe", "obs"), "repro/internal/obs")
+	if len(fs) != 1 {
+		t.Errorf("nilsafe fixture produced %d findings, want 1", len(fs))
+	}
+}
+
+// TestKnobCoverFixture: uncovered fields, unreasoned exemptions,
+// unknown coverage functions, empty markers and non-struct annotations
+// all fire; direct, transitive and exempted coverage pass.
+func TestKnobCoverFixture(t *testing.T) {
+	linttest.Run(t, lint.KnobCover, fixture("knobcover", "knobs"), "example.com/knobs")
+}
+
+// TestKnobCoverCampaignEnforcement: in the real campaign package the
+// annotation is mandatory on Knobs and Job.
+func TestKnobCoverCampaignEnforcement(t *testing.T) {
+	linttest.Run(t, lint.KnobCover, fixture("knobcover", "campaign"), "repro/internal/campaign")
+}
+
+// TestRepoTreeIsClean pins the acceptance criterion: mmmlint over the
+// whole repository exits clean. Any new finding must be fixed or
+// carry an audited suppression in the same change.
+func TestRepoTreeIsClean(t *testing.T) {
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader matched no packages")
+	}
+	findings, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("tree not lint-clean: %s", f)
+	}
+}
+
+// TestByName: analyzer selection by comma list, and rejection of
+// unknown names.
+func TestByName(t *testing.T) {
+	all, err := lint.ByName("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	}
+	two, err := lint.ByName("detclock, maporder")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName(detclock, maporder) = %d analyzers, err %v; want 2, nil", len(two), err)
+	}
+	if _, err := lint.ByName("detclock,nope"); err == nil {
+		t.Fatal("ByName accepted unknown analyzer \"nope\"")
+	}
+}
+
+// TestWriteJSON: the machine-readable output is a JSON array, [] when
+// clean (never null), with the documented field names.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty findings encode as %q, want []", got)
+	}
+
+	buf.Reset()
+	in := []lint.Finding{{File: "a.go", Line: 3, Col: 7, Analyzer: "detclock", Message: "m"}}
+	if err := lint.WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 1 {
+		t.Fatalf("decoded %d findings, want 1", len(out))
+	}
+	for _, key := range []string{"file", "line", "col", "analyzer", "message"} {
+		if _, ok := out[0][key]; !ok {
+			t.Errorf("JSON finding lacks %q field: %s", key, buf.String())
+		}
+	}
+}
+
+// TestFindingString pins the conventional rendering used by CI logs.
+func TestFindingString(t *testing.T) {
+	f := lint.Finding{File: "x/y.go", Line: 12, Col: 4, Analyzer: "maporder", Message: "oops"}
+	if got, want := f.String(), "x/y.go:12:4: maporder: oops"; got != want {
+		t.Errorf("Finding.String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose body reaches an output sink
+// — a hash / io.Writer Write, a json/gob/xml Encoder.Encode, an
+// fmt.Fprint*/Print*, or an append into a slice the function returns —
+// without the slice being sorted afterwards. Go randomizes map
+// iteration order per run, so such a loop emits a different byte
+// stream every execution: the exact bug class that would quietly break
+// fingerprint digests, Prometheus exposition and journal replay. The
+// fix is the repository's standard collect-keys/sort/iterate pattern;
+// genuinely order-insensitive sites carry //mmm:maporder-ok <reason>.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration feeding an output sink (hash, encoder, writer, " +
+		"returned slice) without an intervening sort",
+	Run: runMapOrder,
+}
+
+// sortCalls recognizes the blessed post-loop sorts.
+var sortCalls = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		forEachFuncScope(file, func(ftype *ast.FuncType, body *ast.BlockStmt) {
+			checkScope(pass, ftype, body)
+		})
+	}
+	return nil
+}
+
+// checkScope analyzes one function scope: every map range statement
+// directly inside it (nested function literals are their own scopes).
+func checkScope(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	returned := returnedExprs(pass, ftype, body)
+	inspectShallow(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, rng, body, returned)
+		return true
+	})
+}
+
+// checkMapRange scans one map-range body for output sinks.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, scope *ast.BlockStmt, returned []string) {
+	mapName := render(pass.Fset, rng.X)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, ok := sinkCall(pass, call); ok {
+			reportMapOrder(pass, call.Pos(), kind, mapName)
+			return true
+		}
+		if target, ok := appendedReturnedSlice(pass, call, returned); ok {
+			if !sortedAfter(pass, scope, target, rng.End()) {
+				reportMapOrder(pass, call.Pos(),
+					"append to returned slice "+target+" (unsorted afterwards)", mapName)
+			}
+		}
+		return true
+	})
+}
+
+// reportMapOrder emits the maporder diagnostic unless suppressed.
+func reportMapOrder(pass *Pass, pos token.Pos, sink, mapName string) {
+	if pass.Suppressed("maporder-ok", pos) {
+		return
+	}
+	pass.Reportf(pos,
+		"%s inside range over map %s: map iteration order is randomized per run, "+
+			"so this emits a different byte stream every execution; iterate sorted keys "+
+			"instead, or suppress an order-insensitive site with //mmm:maporder-ok <reason>",
+		sink, mapName)
+}
+
+// sinkCall classifies direct output sinks.
+func sinkCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+
+	// fmt.Fprint* / fmt.Print* — formatted output to a writer or stdout.
+	if pkgPath, ok := usedPackage(pass.TypesInfo, sel.X); ok {
+		if pkgPath == "fmt" {
+			switch name {
+			case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+				return "fmt." + name + " call", true
+			}
+		}
+		return "", false
+	}
+
+	recv := pass.TypesInfo.Types[sel.X].Type
+
+	// *json.Encoder (and gob/xml) Encode — streamed serialization.
+	if name == "Encode" {
+		if pkgPath, typeName, ok := namedFrom(recv); ok && typeName == "Encoder" {
+			switch pkgPath {
+			case "encoding/json", "encoding/gob", "encoding/xml":
+				return pkgPath + ".Encoder.Encode call", true
+			}
+		}
+	}
+
+	// Write-family methods on anything satisfying io.Writer — covers
+	// hash.Hash, bytes.Buffer, strings.Builder, bufio.Writer,
+	// http.ResponseWriter.
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		if hasWriteMethod(recv) {
+			return name + " on io.Writer " + render(pass.Fset, sel.X), true
+		}
+	}
+	return "", false
+}
+
+// appendedReturnedSlice reports whether call is append(target, ...)
+// where target is (part of) a value the enclosing function returns.
+func appendedReturnedSlice(pass *Pass, call *ast.CallExpr, returned []string) (string, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return "", false
+	}
+	if obj, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || obj.Name() != "append" {
+		return "", false
+	}
+	target := render(pass.Fset, call.Args[0])
+	for _, r := range returned {
+		if target == r || strings.HasPrefix(target, r+".") || strings.HasPrefix(target, r+"[") {
+			return target, true
+		}
+	}
+	return "", false
+}
+
+// returnedExprs collects the rendered result expressions of every
+// return statement in the scope, plus named results (which bare
+// returns return implicitly).
+func returnedExprs(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) []string {
+	var out []string
+	if ftype != nil && ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					out = append(out, name.Name)
+				}
+			}
+		}
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			out = append(out, render(pass.Fset, res))
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether the scope sorts target (a rendered
+// expression) at any point after pos — the collect/sort/emit pattern.
+func sortedAfter(pass *Pass, scope *ast.BlockStmt, target string, pos token.Pos) bool {
+	found := false
+	inspectShallow(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, ok := usedPackage(pass.TypesInfo, sel.X)
+		if !ok || !sortCalls[pathBase(pkgPath)][sel.Sel.Name] {
+			return true
+		}
+		if strings.Contains(render(pass.Fset, call.Args[0]), target) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// pathBase returns the last element of an import path ("sort",
+// "slices").
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

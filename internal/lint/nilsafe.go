@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NilSafe mechanizes internal/obs's contract: every instrument and the
+// recorder are nil-safe no-ops, so instrumented code holds a
+// possibly-nil pointer and pays exactly one predictable branch when
+// telemetry is off. Concretely: every exported pointer-receiver method
+// in internal/obs must begin with a nil-receiver guard whose body
+// returns. A method that skips the guard panics the first time a
+// disabled (nil) instrument flows through it — in the hot loop, under
+// load, long after review. Deliberate exceptions carry
+// //mmm:nilsafe-ok <reason>.
+var NilSafe = &Analyzer{
+	Name: "nilsafe",
+	Doc: "require exported pointer-receiver methods in internal/obs to begin " +
+		"with a nil-receiver guard",
+	Run: runNilSafe,
+}
+
+func runNilSafe(pass *Pass) error {
+	if !isObsPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			recvName, ok := pointerReceiverName(fn)
+			if !ok {
+				continue
+			}
+			if beginsWithNilGuard(fn.Body, recvName) {
+				continue
+			}
+			if pass.Suppressed("nilsafe-ok", fn.Pos()) || pass.Suppressed("nilsafe-ok", fn.Name.Pos()) {
+				continue
+			}
+			pass.Reportf(fn.Name.Pos(),
+				"exported pointer-receiver method %s.%s must begin with a nil-receiver guard "+
+					"(if %s == nil { return ... }): internal/obs instruments are nil-safe no-ops "+
+					"by contract; suppress with //mmm:nilsafe-ok <reason> if nil receivers are impossible",
+				receiverTypeName(fn), fn.Name.Name, recvName)
+		}
+	}
+	return nil
+}
+
+// isObsPackage matches the telemetry package in the real tree and in
+// fixtures.
+func isObsPackage(path string) bool {
+	return path == "internal/obs" || len(path) > len("/internal/obs") &&
+		path[len(path)-len("/internal/obs"):] == "/internal/obs"
+}
+
+// pointerReceiverName returns the receiver identifier of a
+// pointer-receiver method. Unnamed (or blank) receivers cannot be
+// dereferenced, so such methods are trivially nil-safe and skipped.
+func pointerReceiverName(fn *ast.FuncDecl) (string, bool) {
+	if len(fn.Recv.List) != 1 {
+		return "", false
+	}
+	field := fn.Recv.List[0]
+	if _, isPtr := field.Type.(*ast.StarExpr); !isPtr {
+		return "", false
+	}
+	if len(field.Names) != 1 || field.Names[0].Name == "_" {
+		return "", false
+	}
+	return field.Names[0].Name, true
+}
+
+// receiverTypeName renders the receiver type for diagnostics
+// ("(*Recorder)").
+func receiverTypeName(fn *ast.FuncDecl) string {
+	star, ok := fn.Recv.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return "(?)"
+	}
+	base := star.X
+	// Unwrap generic instantiations: (*Ring[T]) -> Ring.
+	if ix, ok := base.(*ast.IndexExpr); ok {
+		base = ix.X
+	}
+	if id, ok := base.(*ast.Ident); ok {
+		return "(*" + id.Name + ")"
+	}
+	return "(?)"
+}
+
+// beginsWithNilGuard reports whether the body's first statement is
+//
+//	if <recv> == nil { ...; return ... }
+//
+// possibly with further || disjuncts (if r == nil || r.off { return }).
+func beginsWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return true // empty body: nothing to deref
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	if !condHasNilCheck(ifStmt.Cond, recvName) {
+		return false
+	}
+	if len(ifStmt.Body.List) == 0 {
+		return false
+	}
+	_, isReturn := ifStmt.Body.List[len(ifStmt.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// condHasNilCheck looks for `<recv> == nil` as a top-level operand of
+// the condition (allowing || chains).
+func condHasNilCheck(cond ast.Expr, recvName string) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return condHasNilCheck(e.X, recvName)
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "||":
+			return condHasNilCheck(e.X, recvName) || condHasNilCheck(e.Y, recvName)
+		case "==":
+			return isIdent(e.X, recvName) && isIdent(e.Y, "nil") ||
+				isIdent(e.X, "nil") && isIdent(e.Y, recvName)
+		}
+	}
+	return false
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

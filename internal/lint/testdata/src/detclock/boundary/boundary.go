@@ -1,0 +1,39 @@
+// Package core is a detclock fixture loaded under the import path
+// repro/internal/core, so the analyzer treats it as determinism-
+// boundary code.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// tick exercises one forbidden symbol per category.
+func tick() time.Duration {
+	t0 := time.Now()           // want `time\.Now \(wall clock\) is forbidden inside determinism-boundary package internal/core`
+	time.Sleep(1)              // want `time\.Sleep \(wall-clock timer\) is forbidden inside determinism-boundary package internal/core`
+	_ = os.Getenv("MMM_DEBUG") // want `os\.Getenv \(environment read\) is forbidden inside determinism-boundary package internal/core`
+	_ = rand.Intn(8)           // want `math/rand\.Intn \(global RNG\) is forbidden inside determinism-boundary package internal/core`
+	return time.Since(t0)      // want `time\.Since \(wall clock\) is forbidden inside determinism-boundary package internal/core`
+}
+
+// seeded uses an explicitly seeded local source: the sanctioned way to
+// get randomness inside the boundary, never flagged.
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(8)
+}
+
+// audited carries a reasoned suppression and is allowed.
+func audited() int64 {
+	t := time.Now().UnixNano() //mmm:wallclock-ok audited: label only, never reaches simulated state
+	return t
+}
+
+// unreasoned has a directive without a reason: it does not suppress,
+// and the diagnostic says why.
+func unreasoned() time.Time {
+	//mmm:wallclock-ok
+	return time.Now() // want `//mmm:wallclock-ok directive with no reason`
+}

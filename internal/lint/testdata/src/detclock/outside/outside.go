@@ -1,0 +1,17 @@
+// Package campaign is the detclock negative fixture: loaded under
+// repro/internal/campaign, which is outside the determinism boundary,
+// the exact calls that are findings in the boundary fixture are legal
+// here (campaign journaling and wall-clock attribution need them).
+package campaign
+
+import (
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock for journal entries: legal outside the
+// boundary, no directive needed.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Verbose reads the environment: likewise legal here.
+func Verbose() bool { return os.Getenv("MMM_VERBOSE") != "" }

@@ -1,0 +1,19 @@
+// Package campaign is the knobcover enforcement fixture: loaded under
+// repro/internal/campaign, where the Knobs and Job structs are always
+// under coverage — a missing annotation is itself a finding.
+package campaign
+
+// Knobs lost its annotation.
+type Knobs struct { // want `struct Knobs must declare its cache-identity contract`
+	A int
+}
+
+// Job keeps the contract and full coverage.
+//
+//mmm:knobcover Fingerprint
+type Job struct {
+	Workload string
+}
+
+// Fingerprint reads every Job field.
+func (j Job) Fingerprint() string { return j.Workload }

@@ -1,0 +1,52 @@
+// Package knobs is the knobcover fixture: annotated sweep-knob
+// structs whose fields must be read by their coverage functions.
+package knobs
+
+import "fmt"
+
+// Knobs is under coverage by Fingerprint and Key. A is read directly,
+// B transitively through cellKey, Display is exempt with a reason;
+// Missing is the cache-poisoning bug the analyzer exists to catch, and
+// BadExempt shows that an exempt directive without a reason does not
+// exempt.
+//
+//mmm:knobcover Fingerprint,Key
+type Knobs struct {
+	A int
+	B string
+	//mmm:knobcover-exempt display label only, never part of job identity
+	Display string
+	Missing int // want `field Knobs\.Missing is not read by coverage functions \(Fingerprint, Key\)`
+	//mmm:knobcover-exempt
+	BadExempt int // want `field Knobs\.BadExempt is not read by coverage functions`
+}
+
+// Fingerprint reads A directly and B transitively via cellKey.
+func (k Knobs) Fingerprint() string {
+	return fmt.Sprintf("%d|%s", k.A, cellKey(k))
+}
+
+// Key covers B through the same helper.
+func (k Knobs) Key() string { return cellKey(k) }
+
+func cellKey(k Knobs) string { return k.B }
+
+// Orphan names a coverage function that does not exist, so no field
+// can be covered either.
+//
+//mmm:knobcover Nope
+type Orphan struct { // want `names coverage function "Nope", which is not declared in this package`
+	X int // want `field Orphan\.X is not read by coverage functions`
+}
+
+// Bare carries a marker with no function list.
+//
+//mmm:knobcover
+type Bare struct { // want `names no coverage functions`
+	Y int
+}
+
+// Scalar is not a struct, so the annotation is itself an error.
+//
+//mmm:knobcover Fingerprint
+type Scalar int // want `annotation on Scalar, which is not a struct`

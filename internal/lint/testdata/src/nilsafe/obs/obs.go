@@ -1,0 +1,57 @@
+// Package obs is the nilsafe fixture: loaded under repro/internal/obs
+// it is held to the telemetry package's nil-safe no-op contract.
+package obs
+
+// Counter is a minimal instrument mirroring the real package's shape.
+type Counter struct {
+	n uint64
+}
+
+// Inc lacks the guard: the first nil (disabled) instrument through
+// here panics.
+func (c *Counter) Inc() { // want `exported pointer-receiver method \(\*Counter\)\.Inc must begin with a nil-receiver guard`
+	c.n++
+}
+
+// Add carries the canonical guard.
+func (c *Counter) Add(d uint64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Value guards with a typed zero return.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Busy guards with a disjunct: still recognized.
+func (c *Counter) Busy(d uint64) {
+	if c == nil || d == 0 {
+		return
+	}
+	c.n += d
+}
+
+// Snapshot has a value receiver: out of the contract's scope.
+func (c Counter) Snapshot() uint64 { return c.n }
+
+// reset is unexported: out of scope.
+func (c *Counter) reset() { c.n = 0 }
+
+// Hot is the audited exception: its receivers are produced only by
+// NewCounter, so the guard would be dead code on the hot path.
+//
+//mmm:nilsafe-ok receivers come only from NewCounter, never nil
+func (c *Counter) Hot() uint64 { return c.n }
+
+// NewCounter is a free function: out of scope.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.reset()
+	return c
+}

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` command-line protocol
+// (the unitchecker protocol), so mmmlint can run as a vet tool inside
+// an ordinary `go vet -vettool=$(which mmmlint) ./...` invocation:
+//
+//	-V=full    describe the executable (build-cache fingerprint)
+//	-flags     describe supported flags as JSON
+//	foo.cfg    analyze the single compilation unit described by the
+//	           JSON config file the go command wrote
+//
+// The protocol is documented by golang.org/x/tools/go/analysis/
+// unitchecker; this is a dependency-free reimplementation of the
+// subset the suite needs (no facts: the analyzers are all
+// single-package, so the .vetx fact file is written empty).
+
+// vetConfig mirrors the JSON compilation-unit description `go vet`
+// hands the tool.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetToolMain handles a `go vet -vettool` invocation if os.Args looks
+// like one, and returns false otherwise (the caller then runs the
+// standalone CLI). On a vet invocation it never returns: it exits with
+// the protocol's status code.
+func VetToolMain(analyzers []*Analyzer) bool {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		return false
+	}
+	jsonOut := false
+	var cfgFile string
+	enabled := map[string]bool{}
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			vetVersion()
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			vetFlags(analyzers)
+			os.Exit(0)
+		case arg == "-json" || arg == "--json" || arg == "-json=true":
+			jsonOut = true
+		case strings.HasSuffix(arg, ".cfg") && !strings.HasPrefix(arg, "-"):
+			cfgFile = arg
+		case strings.HasPrefix(arg, "-"):
+			// Analyzer enable flags: -detclock, -maporder=true, ...
+			name := strings.TrimLeft(arg, "-")
+			val := true
+			if n, v, ok := strings.Cut(name, "="); ok {
+				name, val = n, v == "true" || v == "1"
+			}
+			for _, a := range analyzers {
+				if a.Name == name && val {
+					enabled[name] = true
+				}
+			}
+		}
+	}
+	if cfgFile == "" {
+		return false
+	}
+	selected := analyzers
+	if len(enabled) > 0 {
+		selected = nil
+		for _, a := range analyzers {
+			if enabled[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+	code, err := runVetUnit(cfgFile, selected, jsonOut, os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmmlint: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+	return true
+}
+
+// vetVersion implements -V=full: the go command fingerprints the tool
+// binary for its build cache.
+func vetVersion() {
+	prog, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Open(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	h := sha256.New()
+	_, cpErr := io.Copy(h, f)
+	f.Close()
+	if cpErr != nil {
+		fmt.Fprintln(os.Stderr, cpErr)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", prog, string(h.Sum(nil)))
+}
+
+// vetFlags implements -flags: the go command asks which flags the tool
+// accepts before forwarding any.
+func vetFlags(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{
+		{"json", true, "emit JSON output"},
+	}
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{a.Name, true, "enable " + a.Name + " analysis"})
+	}
+	data, _ := json.MarshalIndent(flags, "", "\t")
+	os.Stdout.Write(data)
+}
+
+// runVetUnit analyzes the single compilation unit described by
+// cfgFile and returns the process exit code. Diagnostics go to errw
+// in file:line:col form (or to w as JSON), matching what `go vet`
+// expects from a vet tool.
+func runVetUnit(cfgFile string, analyzers []*Analyzer, jsonOut bool, w, errw io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// The go command caches analysis results through the .vetx fact
+	// file; the suite computes no facts, so an empty file suffices —
+	// but it must exist even in VetxOnly (dependency) mode.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	findings, err := checkVetUnit(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if jsonOut {
+		// JSON mode always exits 0; the go command inspects the tree.
+		type jsonDiagnostic struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		tree := map[string]map[string][]jsonDiagnostic{cfg.ID: {}}
+		for _, f := range findings {
+			tree[cfg.ID][f.Analyzer] = append(tree[cfg.ID][f.Analyzer], jsonDiagnostic{
+				Posn:    fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col),
+				Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(tree); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	for _, f := range findings {
+		fmt.Fprintf(errw, "%s:%d:%d: %s\n", f.File, f.Line, f.Col, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// checkVetUnit type-checks and analyzes one vet compilation unit.
+func checkVetUnit(cfg *vetConfig, analyzers []*Analyzer) ([]Finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compilerImp := importer.ForCompiler(fset, compilerOr(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path := importPath
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			path = mapped
+		}
+		return compilerImp.Import(path)
+	})
+	pkg, info, errs := check(cfg.ImportPath, fset, files, imp)
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	p := newPackage(cfg.ImportPath, cfg.GoFiles, fset, files, pkg, info)
+	return runPackage(p, analyzers)
+}
+
+func compilerOr(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeVetUnit builds a vet.cfg-style compilation unit for one
+// synthetic boundary source file, with stdlib imports satisfied from
+// real compiler export data.
+func writeVetUnit(t *testing.T, src string, vetxOnly bool) (cfgFile, vetxFile string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "core.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exports, err := ExportsFor(".", "time")
+	if err != nil {
+		t.Fatalf("resolving stdlib export data: %v", err)
+	}
+	vetxFile = filepath.Join(dir, "unit.vetx")
+	cfg := vetConfig{
+		ID:          "repro/internal/core",
+		ImportPath:  "repro/internal/core",
+		GoFiles:     []string{goFile},
+		ImportMap:   map[string]string{"time": "time"},
+		PackageFile: exports,
+		VetxOnly:    vetxOnly,
+		VetxOutput:  vetxFile,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFile = filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(cfgFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cfgFile, vetxFile
+}
+
+const vetUnitBadSrc = `package core
+
+import "time"
+
+func tick() int64 { return time.Now().UnixNano() }
+`
+
+// TestVetUnitFindings: a unit with a boundary violation exits 2 with a
+// file:line:col diagnostic on stderr, and still writes the .vetx fact
+// file the go command caches on.
+func TestVetUnitFindings(t *testing.T) {
+	cfgFile, vetxFile := writeVetUnit(t, vetUnitBadSrc, false)
+	var stdout, stderr bytes.Buffer
+	code, err := runVetUnit(cfgFile, All(), false, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2 (findings)", code)
+	}
+	if !strings.Contains(stderr.String(), "time.Now") ||
+		!strings.Contains(stderr.String(), "core.go:5:") {
+		t.Errorf("stderr lacks positioned diagnostic:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(vetxFile); err != nil {
+		t.Errorf(".vetx fact file not written: %v", err)
+	}
+}
+
+// TestVetUnitJSON: -json mode exits 0 and prints the unitchecker's
+// ID -> analyzer -> diagnostics tree on stdout.
+func TestVetUnitJSON(t *testing.T) {
+	cfgFile, _ := writeVetUnit(t, vetUnitBadSrc, false)
+	var stdout, stderr bytes.Buffer
+	code, err := runVetUnit(cfgFile, All(), true, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("JSON mode exit code = %d, want 0", code)
+	}
+	var tree map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &tree); err != nil {
+		t.Fatalf("stdout is not the expected JSON tree: %v\n%s", err, stdout.String())
+	}
+	diags := tree["repro/internal/core"]["detclock"]
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "time.Now") {
+		t.Errorf("JSON tree lacks the detclock diagnostic: %s", stdout.String())
+	}
+}
+
+// TestVetUnitVetxOnly: dependency-mode units do no analysis but must
+// still produce their fact file.
+func TestVetUnitVetxOnly(t *testing.T) {
+	cfgFile, vetxFile := writeVetUnit(t, vetUnitBadSrc, true)
+	var stdout, stderr bytes.Buffer
+	code, err := runVetUnit(cfgFile, All(), false, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || stderr.Len() != 0 {
+		t.Errorf("VetxOnly unit: code %d, stderr %q; want 0 and empty", code, stderr.String())
+	}
+	if _, err := os.Stat(vetxFile); err != nil {
+		t.Errorf("VetxOnly unit did not write fact file: %v", err)
+	}
+}
+
+// TestBoundaryPackage pins the path gating shared by detclock.
+func TestBoundaryPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		name string
+		in   bool
+	}{
+		{"repro/internal/core", "core", true},
+		{"repro/internal/sim", "sim", true},
+		{"repro/internal/cache", "cache", true},
+		{"repro/internal/campaign", "", false},
+		{"repro/internal/obs", "", false},
+		{"repro/cmd/mmm", "", false},
+		{"internal/stats", "stats", true},
+		{"example.com/a/internal/trace/sub", "trace", true},
+		{"example.com/sprinternal/core", "", false},
+	}
+	for _, tc := range cases {
+		name, in := boundaryPackage(tc.path)
+		if name != tc.name || in != tc.in {
+			t.Errorf("boundaryPackage(%q) = (%q, %v), want (%q, %v)", tc.path, name, in, tc.name, tc.in)
+		}
+	}
+}
+
+// TestSuppressionsRequireReason: the directive index keeps reasonless
+// directives distinguishable so analyzers can refuse them.
+func TestSuppressionsRequireReason(t *testing.T) {
+	dir := t.TempDir()
+	src := `package campaign
+
+// Knobs is annotated but one exemption has no reason.
+//
+//mmm:knobcover Fingerprint
+type Knobs struct {
+	A int
+	//mmm:knobcover-exempt
+	B int
+}
+
+// Fingerprint reads A only.
+func (k Knobs) Fingerprint() int { return k.A }
+`
+	if err := os.WriteFile(filepath.Join(dir, "k.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadFixture(dir, "example.com/knobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{KnobCover})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "Knobs.B") {
+		t.Errorf("reasonless exempt directive should not exempt; findings: %v", findings)
+	}
+}
