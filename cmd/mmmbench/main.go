@@ -36,25 +36,33 @@ type expResult struct {
 	Experiment string  `json:"experiment"`
 	Rows       int     `json:"rows"`
 	WallMS     float64 `json:"wall_ms"`
+	// Trials counts the Monte Carlo trial slices the reliability study
+	// simulated — the quantity -adaptive exists to shrink; 0 for
+	// experiments without a trial axis.
+	Trials int `json:"trials,omitempty"`
 }
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: all,fig5a,fig5b,fig6a,fig6b,table1,table2,pab,singleos,faults,relia,policy")
-		policies = flag.String("policies", "", "comma-separated mode-policy axis for -exp policy (e.g. 'static,duty-cycle:60000:25'); empty sweeps every registered policy")
-		quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
-		warmup   = flag.Uint64("warmup", 0, "override warmup cycles")
-		measure  = flag.Uint64("measure", 0, "override measurement cycles")
-		slice    = flag.Uint64("timeslice", 0, "override gang-scheduling timeslice cycles")
-		seeds    = flag.Int("seeds", 0, "override number of seeds")
-		par      = flag.Int("parallel", 0, "override worker parallelism")
-		cacheDir = flag.String("cache", "", "campaign result cache directory (empty = no cache)")
-		workers  = flag.String("workers", "", "comma-separated mmmd worker fleet (host:port,...); shards campaign jobs remotely")
-		coord    = flag.String("coordinator", "", "job-board bind address for -workers (host[:port]); set a host the workers can reach for cross-host fleets (default loopback, single-machine only)")
-		jsonOut  = flag.String("json", "", "write per-experiment results as JSON to this file (- for stdout)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile (go tool pprof) to this file at exit")
-		execTr   = flag.String("trace", "", "write a runtime execution trace (go tool trace) to this file")
+		which     = flag.String("exp", "all", "experiment: all,fig5a,fig5b,fig6a,fig6b,table1,table2,pab,singleos,faults,relia,policy")
+		policies  = flag.String("policies", "", "comma-separated mode-policy axis for -exp policy (e.g. 'static,duty-cycle:60000:25'); empty sweeps every registered policy")
+		quick     = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+		warmup    = flag.Uint64("warmup", 0, "override warmup cycles")
+		measure   = flag.Uint64("measure", 0, "override measurement cycles")
+		slice     = flag.Uint64("timeslice", 0, "override gang-scheduling timeslice cycles")
+		seeds     = flag.Int("seeds", 0, "override number of seeds")
+		wls       = flag.String("workloads", "", "comma-separated workload subset (empty = all six)")
+		par       = flag.Int("parallel", 0, "override worker parallelism")
+		cacheDir  = flag.String("cache", "", "campaign result cache directory (empty = no cache)")
+		adaptive  = flag.Bool("adaptive", false, "run -exp relia with sequential stopping: trials in waves until each cell's 95% interval is within -halfwidth")
+		hw        = flag.Float64("halfwidth", 0, "adaptive target half-width on coverage (implies -adaptive; default 0.05)")
+		fixTrials = flag.Int("trials", 0, "override -exp relia fixed trials per cell (sizes a fixed-batch run to an adaptive run's worst-case budget; ignored with -adaptive)")
+		workers   = flag.String("workers", "", "comma-separated mmmd worker fleet (host:port,...); shards campaign jobs remotely")
+		coord     = flag.String("coordinator", "", "job-board bind address for -workers (host[:port]); set a host the workers can reach for cross-host fleets (default loopback, single-machine only)")
+		jsonOut   = flag.String("json", "", "write per-experiment results as JSON to this file (- for stdout)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (go tool pprof) to this file at exit")
+		execTr    = flag.String("trace", "", "write a runtime execution trace (go tool trace) to this file")
 	)
 	flag.Parse()
 
@@ -121,6 +129,13 @@ func main() {
 	if *par > 0 {
 		cfg.Parallel = *par
 	}
+	if *wls != "" {
+		for _, w := range strings.Split(*wls, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				cfg.Workloads = append(cfg.Workloads, w)
+			}
+		}
+	}
 	if *policies != "" {
 		for _, p := range strings.Split(*policies, ",") {
 			p = strings.TrimSpace(p)
@@ -131,6 +146,14 @@ func main() {
 			cfg.Policies = append(cfg.Policies, p)
 		}
 	}
+	if *adaptive || *hw > 0 {
+		p := campaign.Precision{HalfWidth: *hw}
+		if p.HalfWidth == 0 {
+			p.HalfWidth = 0.05
+		}
+		cfg.Precision = &p
+	}
+	cfg.ReliaTrials = *fixTrials
 	if *cacheDir != "" {
 		cache, err := campaign.NewDiskCache(*cacheDir)
 		if err != nil {
@@ -156,12 +179,14 @@ func main() {
 
 	var results []expResult
 	matched := false
+	trials := 0 // set by experiments with a trial axis, consumed per run
 	run := func(name string, fn func() (int, error)) {
 		if *which != "all" && !strings.EqualFold(*which, name) {
 			return
 		}
 		matched = true
 		start := time.Now()
+		trials = 0
 		rows, err := fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmmbench: %s: %v\n", name, err)
@@ -173,6 +198,7 @@ func main() {
 			Experiment: name,
 			Rows:       rows,
 			WallMS:     float64(wall.Microseconds()) / 1000,
+			Trials:     trials,
 		})
 	}
 
@@ -266,6 +292,9 @@ func main() {
 		rows, err := exp.ReliabilityStudy(cfg)
 		if err != nil {
 			return 0, err
+		}
+		for _, r := range rows {
+			trials += r.Trials
 		}
 		fmt.Println(exp.ReliabilityTable(rows))
 		return len(rows), nil

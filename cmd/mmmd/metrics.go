@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/campaign"
 	"repro/internal/obs"
 )
@@ -216,15 +217,22 @@ func (w *statusWriter) Flush() {
 
 // routeLabel collapses a request path onto its route pattern (bounded
 // label cardinality) and extracts the campaign run id when the path
-// carries one.
+// carries one. Versioned and legacy spellings keep their own labels —
+// the /v1 prefix stays in the pattern — so dashboards can watch
+// deprecated-path traffic drain.
 func routeLabel(path string) (pattern, runID string) {
 	parts := strings.Split(strings.Trim(path, "/"), "/")
+	prefix := ""
+	if len(parts) >= 1 && parts[0] == strings.Trim(api.PathPrefix, "/") {
+		prefix = api.PathPrefix
+		parts = parts[1:]
+	}
 	if len(parts) >= 2 && parts[0] == "campaigns" && parts[1] != "" {
 		runID = parts[1]
 		if len(parts) == 2 {
-			return "/campaigns/{id}", runID
+			return prefix + "/campaigns/{id}", runID
 		}
-		return "/campaigns/{id}/" + strings.Join(parts[2:], "/"), runID
+		return prefix + "/campaigns/{id}/" + strings.Join(parts[2:], "/"), runID
 	}
 	return path, ""
 }

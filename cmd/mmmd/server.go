@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/campaign"
 	"repro/internal/mode"
 	"repro/internal/obs"
@@ -21,36 +22,13 @@ import (
 	"repro/internal/stats"
 )
 
-// submitRequest is the body of POST /campaigns: a named campaign plus
-// optional axis and scale overrides.
-type submitRequest struct {
-	// Name selects a registered campaign (GET /catalog lists them).
-	Name string `json:"name"`
-	// Scale is "default" or "quick"; empty means "default".
-	Scale string `json:"scale,omitempty"`
-	// Warmup/Measure/Timeslice override individual scale windows.
-	// Pointers so that an explicit zero (e.g. a zero-warmup campaign,
-	// which the engine supports) is distinguishable from "not set".
-	Warmup    *uint64 `json:"warmup,omitempty"`
-	Measure   *uint64 `json:"measure,omitempty"`
-	Timeslice *uint64 `json:"timeslice,omitempty"`
-	// Workloads and Seeds override the sweep axes.
-	Workloads []string `json:"workloads,omitempty"`
-	Seeds     []uint64 `json:"seeds,omitempty"`
-	// Policies overrides the mode-policy axis: each entry is a policy
-	// spec (GET /catalog lists the registered names), "" or "static"
-	// meaning the kind's default behavior. The campaign's cells are
-	// multiplied across the axis. Unknown names are rejected with 400.
-	Policies []string `json:"policies,omitempty"`
-	// Workers overrides the worker fleet ("host:port" or URLs) for
-	// this campaign; empty uses the service's -workers default.
-	// Campaign jobs are then sharded across the fleet through the
-	// pull-based lease protocol instead of the local pool.
-	Workers []string `json:"workers,omitempty"`
-	// Local forces local execution even when the service has a
-	// default fleet.
-	Local bool `json:"local,omitempty"`
-}
+// submitRequest and runStatus are the typed wire bodies of the
+// campaign endpoints; internal/api owns them (they are shared with
+// mmmtail, tests and any other client), this service just serves them.
+type (
+	submitRequest = api.SubmitRequest
+	runStatus     = api.RunStatus
+)
 
 // run is one submitted campaign and its execution state.
 type run struct {
@@ -59,8 +37,9 @@ type run struct {
 	id       string
 	name     string
 	scale    campaign.Scale
-	workers  int    // fleet size; 0 = local pool
-	status   string // queued, running, done, failed, canceled
+	workers  int                 // fleet size; 0 = local pool
+	prec     *campaign.Precision // normalized adaptive block; nil = fixed batches
+	status   string              // queued, running, done, failed, canceled
 	total    int
 	done     int
 	hits     int
@@ -78,23 +57,6 @@ type run struct {
 	jnl *campaign.Journal
 }
 
-// runStatus is the JSON rendering of a run's state.
-type runStatus struct {
-	ID       string         `json:"id"`
-	Name     string         `json:"name"`
-	Scale    campaign.Scale `json:"scale"`
-	Status   string         `json:"status"`
-	Jobs     int            `json:"jobs"`
-	Done     int            `json:"done"`
-	CacheHit int            `json:"cache_hits"`
-	Workers  int            `json:"workers,omitempty"`
-	Error    string         `json:"error,omitempty"`
-	WallMS   int64          `json:"wall_ms,omitempty"`
-	// Attribution is the journal-derived wall-clock report, present
-	// once the run reaches a terminal state.
-	Attribution *campaign.Report `json:"attribution,omitempty"`
-}
-
 func (r *run) snapshot() runStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -109,6 +71,7 @@ func (r *run) snapshot() runStatus {
 		Workers:     r.workers,
 		Error:       r.errMsg,
 		WallMS:      r.wall.Milliseconds(),
+		Precision:   r.prec,
 		Attribution: r.report,
 	}
 }
@@ -179,36 +142,64 @@ func newServer(ctx context.Context, cache campaign.Cache, parallel, maxCampaigns
 	return s
 }
 
-// handler routes the service's endpoints.
+// handler routes the service's endpoints. The API surface is
+// versioned: every campaign route is canonical under /v1/, and the
+// pre-versioning unversioned paths remain as thin aliases that serve
+// the same handler while marking the response deprecated (a
+// "Deprecation: true" header plus a Link to the successor route), so
+// existing clients keep working and see where to migrate.
+// /healthz and /metrics are infrastructure endpoints (probes,
+// scrapers), not API — they stay unversioned and undeprecated.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /catalog", func(w http.ResponseWriter, _ *http.Request) {
-		// Names plus full axes (kinds, workloads, variants, policies,
-		// seeds, job counts), so operators can discover what a
-		// registered sweep runs without reading source. "policies"
-		// lists every mode policy a submission may name on its
-		// "policies" axis.
-		writeJSON(w, http.StatusOK, map[string]any{
-			"names":     campaign.Names(),
-			"policies":  mode.Names(),
-			"campaigns": campaign.Catalog(),
-		})
-	})
-	mux.HandleFunc("GET /status", s.handleServiceStatus)
 	mux.HandleFunc("GET /metrics", metricsHandler(s.reg))
-	mux.HandleFunc("POST /campaigns", s.handleSubmit)
-	mux.HandleFunc("GET /campaigns", s.handleList)
-	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
-	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
-	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
-	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
+	for _, rt := range []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"GET", "/catalog", s.handleCatalog},
+		{"GET", "/status", s.handleServiceStatus},
+		{"POST", "/campaigns", s.handleSubmit},
+		{"GET", "/campaigns", s.handleList},
+		{"GET", "/campaigns/{id}", s.handleStatus},
+		{"GET", "/campaigns/{id}/results", s.handleResults},
+		{"GET", "/campaigns/{id}/events", s.handleEvents},
+		{"POST", "/campaigns/{id}/cancel", s.handleCancel},
+	} {
+		mux.HandleFunc(rt.method+" "+api.PathPrefix+rt.path, rt.h)
+		mux.HandleFunc(rt.method+" "+rt.path, deprecatedAlias(rt.h))
+	}
 	if s.debug {
 		mountPprof(mux)
 	}
 	return accessLog(mux, s.reg)
+}
+
+// deprecatedAlias serves a legacy unversioned route through its
+// canonical handler, stamping the deprecation headers first.
+func deprecatedAlias(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set(api.DeprecationHeader, "true")
+		w.Header().Set("Link",
+			fmt.Sprintf("<%s%s>; rel=%q", api.PathPrefix, req.URL.Path, api.SuccessorRel))
+		h(w, req)
+	}
+}
+
+// handleCatalog reports the registered campaign names, the mode-policy
+// vocabulary, the precision axis adaptive submissions may target, and
+// the full per-campaign axes — so operators can discover what a sweep
+// runs (and which knobs a submission accepts) without reading source.
+func (s *server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.CatalogResponse{
+		Names:     campaign.Names(),
+		Policies:  mode.Names(),
+		Precision: api.PrecisionAxis(),
+		Campaigns: campaign.Catalog(),
+	})
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
@@ -247,10 +238,35 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	if len(body.Policies) > 0 {
 		spec.Policies = body.Policies
 	}
+	// A submitted precision block overrides the campaign's default (if
+	// any): the submission decides whether the run is adaptive.
+	if body.Precision != nil {
+		spec.Precision = body.Precision
+	}
 	jobs, err := spec.Expand()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// Validate the adaptive block at submission, not at the first wave:
+	// an out-of-bounds target answers 400 naming the valid range, and a
+	// campaign without fault injection can never satisfy a stopping
+	// rule over fault outcomes.
+	if spec.Precision != nil {
+		p := spec.Precision.Normalized()
+		if err := p.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		for _, j := range jobs {
+			if j.Knobs.FaultInterval <= 0 {
+				httpError(w, http.StatusBadRequest,
+					"adaptive precision requires fault-injection cells, but %q cell %s injects no faults",
+					body.Name, j.Key())
+				return
+			}
+		}
+		spec.Precision = &p
 	}
 
 	// Placement: an explicit worker list wins, then the service's
@@ -276,8 +292,9 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		name:    body.Name,
 		scale:   sc,
 		workers: len(fleet),
+		prec:    spec.Precision,
 		status:  "queued",
-		total:   len(jobs),
+		total:   len(jobs), // adaptive runs: expansion order cells, not waves
 		cancel:  cancel,
 	}
 	s.runs[r.id] = r
@@ -299,7 +316,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	r.jnl = jnl
 
 	s.wg.Add(1)
-	go s.execute(ctx, r, jobs, fleet)
+	go s.execute(ctx, r, spec, fleet)
 
 	writeJSON(w, http.StatusAccepted, r.snapshot())
 }
@@ -309,8 +326,9 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 // across remote workers via the lease protocol; otherwise the local
 // bounded pool runs them. Both paths share the service cache, so a
 // campaign started locally finishes remotely (and vice versa) without
-// re-simulating.
-func (s *server) execute(ctx context.Context, r *run, jobs []campaign.Job, fleet []string) {
+// re-simulating. Specs with a precision block run adaptively on
+// either path — campaign.RunSpec routes them.
+func (s *server) execute(ctx context.Context, r *run, spec campaign.Spec, fleet []string) {
 	defer s.wg.Done()
 	defer r.cancel()
 
@@ -360,7 +378,7 @@ func (s *server) execute(ctx context.Context, r *run, jobs []campaign.Job, fleet
 			},
 		})
 	}
-	rs, err := runner.Run(ctx, r.scale, jobs)
+	rs, err := campaign.RunSpec(ctx, runner, r.scale, spec)
 	r.jnl.Finish(err)
 	if err != nil {
 		r.finish(nil, nil, err)

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/campaign"
 )
 
@@ -71,7 +72,7 @@ const maxReconnects = 10
 // the attribution report derived from them.
 func followRun(addr, id string, jsonOut, quiet bool) int {
 	base := strings.TrimSuffix(addr, "/")
-	url := base + "/campaigns/" + id + "/events"
+	url := base + api.PathPrefix + "/campaigns/" + id + "/events"
 
 	var events []campaign.Event
 	var last int64
@@ -155,7 +156,22 @@ func writeReport(rep campaign.Report, jsonOut bool) {
 func printEvent(ev *campaign.Event) {
 	switch ev.Type {
 	case campaign.EventExpanded:
-		fmt.Printf("expanded: %d cells\n", ev.Total)
+		if ev.Precision != nil {
+			fmt.Printf("expanded: %d cells (adaptive: %s half-width <= %g)\n",
+				ev.Total, ev.Precision.Metric, ev.Precision.HalfWidth)
+		} else {
+			fmt.Printf("expanded: %d cells\n", ev.Total)
+		}
+	case campaign.EventWaveScheduled:
+		fmt.Printf("wave %d/%-4d %-36s %d trials, half-width %.4f\n",
+			ev.Wave, ev.Cell, ev.Key, ev.Trials, ev.HalfWidth)
+	case campaign.EventCellRetired:
+		why := "target met"
+		if ev.Capped {
+			why = "capped"
+		}
+		fmt.Printf("retired %4d %-36s %d trials, half-width %.4f (%s)\n",
+			ev.Cell, ev.Key, ev.Trials, ev.HalfWidth, why)
 	case campaign.EventMerged:
 		src := "simulated"
 		if ev.Hit {

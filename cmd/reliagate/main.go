@@ -1,0 +1,168 @@
+// Command reliagate is the nightly fixed-vs-adaptive gate: it compares
+// a fixed-batch reliability run against an adaptive (sequential
+// stopping) run at the same target precision and fails (exit 1) unless
+// the adaptive run simulated fewer trials AND every (mode, rate) row's
+// coverage intervals overlap between the two — i.e. the savings did
+// not move the answer.
+//
+//	mmmbench -exp relia -quick -trials 384        -json fixed.json    | tee fixed.txt
+//	mmmbench -exp relia -quick -halfwidth 0.05    -json adaptive.json | tee adaptive.txt
+//	reliagate -fixed fixed.txt -fixed-json fixed.json \
+//	          -adaptive adaptive.txt -adaptive-json adaptive.json -min-savings 0.30
+//
+// Trial counts come from the mmmbench -json records; the per-row
+// Wilson intervals are parsed from the printed reliability tables
+// (the `[lo,hi]` tokens of the result- and TLB-coverage columns).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// interval is one 95% Wilson interval parsed from a table cell.
+type interval struct{ lo, hi float64 }
+
+func (a interval) overlaps(b interval) bool { return a.lo <= b.hi && b.lo <= a.hi }
+
+// row is one (mode, rate) line of the reliability table: the result-
+// and TLB-coverage intervals, in column order.
+type row struct{ result, tlb interval }
+
+var intervalRE = regexp.MustCompile(`\[(\d+\.\d+),(\d+\.\d+)\]`)
+
+// parseTable extracts the (mode, rate) -> intervals map from mmmbench
+// -exp relia text output, recognizing rows by their interval tokens.
+func parseTable(text string) (map[string]row, error) {
+	rows := map[string]row{}
+	for _, line := range strings.Split(text, "\n") {
+		m := intervalRE.FindAllStringSubmatch(line, -1)
+		if len(m) < 2 {
+			continue // header, rule or non-table line
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		key := fields[0] + "@" + fields[1]
+		var iv [2]interval
+		for i := 0; i < 2; i++ {
+			lo, err1 := strconv.ParseFloat(m[i][1], 64)
+			hi, err2 := strconv.ParseFloat(m[i][2], 64)
+			if err1 != nil || err2 != nil || lo > hi {
+				return nil, fmt.Errorf("reliagate: bad interval %q in row %q", m[i][0], key)
+			}
+			iv[i] = interval{lo, hi}
+		}
+		if _, dup := rows[key]; dup {
+			return nil, fmt.Errorf("reliagate: duplicate row %q", key)
+		}
+		rows[key] = row{result: iv[0], tlb: iv[1]}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("reliagate: no table rows found")
+	}
+	return rows, nil
+}
+
+// trialCount reads the relia experiment's trial total from a
+// mmmbench -json record.
+func trialCount(data []byte) (int, error) {
+	var doc struct {
+		Experiments []struct {
+			Experiment string `json:"experiment"`
+			Trials     int    `json:"trials"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("reliagate: %w", err)
+	}
+	for _, e := range doc.Experiments {
+		if e.Experiment == "relia" {
+			return e.Trials, nil
+		}
+	}
+	return 0, fmt.Errorf("reliagate: no relia experiment in JSON record")
+}
+
+// compare is the gate proper, factored out of main for testing. It
+// returns the findings as error text (nil = gate passes) plus the
+// human summary line.
+func compare(fixedTxt, adaptiveTxt string, fixedTrials, adaptiveTrials int, minSavings float64) (string, error) {
+	fixed, err := parseTable(fixedTxt)
+	if err != nil {
+		return "", fmt.Errorf("fixed table: %w", err)
+	}
+	adaptive, err := parseTable(adaptiveTxt)
+	if err != nil {
+		return "", fmt.Errorf("adaptive table: %w", err)
+	}
+	if len(fixed) != len(adaptive) {
+		return "", fmt.Errorf("row mismatch: fixed has %d rows, adaptive %d", len(fixed), len(adaptive))
+	}
+	for key, f := range fixed {
+		a, ok := adaptive[key]
+		if !ok {
+			return "", fmt.Errorf("row %q missing from adaptive table", key)
+		}
+		if !f.result.overlaps(a.result) {
+			return "", fmt.Errorf("row %q result-coverage intervals disjoint: fixed [%g,%g] vs adaptive [%g,%g]",
+				key, f.result.lo, f.result.hi, a.result.lo, a.result.hi)
+		}
+		if !f.tlb.overlaps(a.tlb) {
+			return "", fmt.Errorf("row %q tlb-coverage intervals disjoint: fixed [%g,%g] vs adaptive [%g,%g]",
+				key, f.tlb.lo, f.tlb.hi, a.tlb.lo, a.tlb.hi)
+		}
+	}
+	if fixedTrials <= 0 || adaptiveTrials <= 0 {
+		return "", fmt.Errorf("non-positive trial counts: fixed %d, adaptive %d", fixedTrials, adaptiveTrials)
+	}
+	savings := 1 - float64(adaptiveTrials)/float64(fixedTrials)
+	if savings < minSavings {
+		return "", fmt.Errorf("adaptive saved only %.1f%% of trials (%d vs %d fixed), gate requires >= %.1f%%",
+			100*savings, adaptiveTrials, fixedTrials, 100*minSavings)
+	}
+	return fmt.Sprintf("reliagate: OK — %d rows agree; adaptive %d trials vs fixed %d (%.1f%% saved)",
+		len(fixed), adaptiveTrials, fixedTrials, 100*savings), nil
+}
+
+func main() {
+	var (
+		fixedTxt    = flag.String("fixed", "", "fixed-batch mmmbench -exp relia text output")
+		adaptiveTxt = flag.String("adaptive", "", "adaptive mmmbench -exp relia text output")
+		fixedJSON   = flag.String("fixed-json", "", "fixed-batch mmmbench -json record")
+		adaptJSON   = flag.String("adaptive-json", "", "adaptive mmmbench -json record")
+		minSavings  = flag.Float64("min-savings", 0.30, "minimum fraction of trials the adaptive run must save")
+	)
+	flag.Parse()
+
+	read := func(path string) []byte {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reliagate: %v\n", err)
+			os.Exit(2)
+		}
+		return data
+	}
+	ft, err := trialCount(read(*fixedJSON))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	at, err := trialCount(read(*adaptJSON))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	summary, err := compare(string(read(*fixedTxt)), string(read(*adaptiveTxt)), ft, at, *minSavings)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reliagate: FAIL — %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(summary)
+}

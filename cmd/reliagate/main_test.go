@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixedTable / adaptiveTable are abbreviated mmmbench -exp relia
+// outputs: same rows, compatible intervals, adaptive narrower.
+const fixedTable = `mode         rate   trials  faults  result(cov)          tlb(cov)
+-----------  -----  ------  ------  -------------------  -------------------
+performance  25000  768     392     0.000 [0.000,0.026]  0.115 [0.054,0.230]
+dmr          25000  768     420     1.000 [0.983,1.000]  0.948 [0.885,0.978]
+mixed        25000  768     408     0.776 [0.748,0.802]  0.772 [0.701,0.831]
+
+[relia completed in 1s]
+`
+
+const adaptiveTable = `mode         rate   trials  faults  result(cov)          tlb(cov)
+-----------  -----  ------  ------  -------------------  -------------------
+performance  25000  120     61      0.000 [0.000,0.048]  0.120 [0.050,0.260]
+dmr          25000  96      52      1.000 [0.963,1.000]  0.940 [0.870,0.980]
+mixed        25000  512     271     0.780 [0.741,0.815]  0.765 [0.690,0.829]
+`
+
+func TestGatePasses(t *testing.T) {
+	summary, err := compare(fixedTable, adaptiveTable, 2304, 728, 0.30)
+	if err != nil {
+		t.Fatalf("gate failed on agreeing runs: %v", err)
+	}
+	if !strings.Contains(summary, "3 rows") || !strings.Contains(summary, "68.4% saved") {
+		t.Fatalf("summary %q", summary)
+	}
+}
+
+func TestGateRejectsInsufficientSavings(t *testing.T) {
+	_, err := compare(fixedTable, adaptiveTable, 2304, 2000, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "13.2%") {
+		t.Fatalf("err = %v, want savings complaint", err)
+	}
+}
+
+func TestGateRejectsDisjointIntervals(t *testing.T) {
+	moved := strings.Replace(adaptiveTable, "0.780 [0.741,0.815]", "0.300 [0.262,0.341]", 1)
+	_, err := compare(fixedTable, moved, 2304, 728, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "mixed@25000") ||
+		!strings.Contains(err.Error(), "disjoint") {
+		t.Fatalf("err = %v, want disjoint-interval complaint for mixed@25000", err)
+	}
+}
+
+func TestGateRejectsRowMismatch(t *testing.T) {
+	lines := strings.SplitN(adaptiveTable, "\n", -1)
+	short := strings.Join(lines[:4], "\n") // drops the mixed row
+	_, err := compare(fixedTable, short, 2304, 728, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "row mismatch") {
+		t.Fatalf("err = %v, want row-count complaint", err)
+	}
+}
+
+func TestParseTableRejectsGarbage(t *testing.T) {
+	if _, err := parseTable("no intervals anywhere\n"); err == nil {
+		t.Fatal("parseTable accepted interval-free text")
+	}
+}
+
+func TestTrialCount(t *testing.T) {
+	n, err := trialCount([]byte(`{"experiments":[{"experiment":"relia","rows":12,"trials":728}]}`))
+	if err != nil || n != 728 {
+		t.Fatalf("trialCount = %d, %v", n, err)
+	}
+	if _, err := trialCount([]byte(`{"experiments":[]}`)); err == nil {
+		t.Fatal("trialCount accepted a record without relia")
+	}
+}

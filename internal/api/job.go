@@ -1,0 +1,190 @@
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// SpecVersion is folded into every job fingerprint. Bump it whenever
+// the simulator's semantics change in a way that invalidates previously
+// cached metrics.
+//
+// v2: Reunion fingerprints cover memory access addresses, persistent
+// divergences escalate to machine checks, and reliability (Monte
+// Carlo trial batch) jobs exist.
+//
+// v3: Metrics.FaultsInjected is rebased at ResetMeasurement and now
+// counts only measurement-window injections; cached v2 metrics for
+// fault-injection cells include warmup faults and are invalid.
+//
+// v4: the runtime mode-policy axis exists (Knobs.Policy, folded into
+// the fingerprint). Static-policy results are byte-identical to v3 —
+// the golden-row regression pins that — but the fingerprint input
+// set changed, so cached v3 entries are re-keyed, not reinterpreted.
+//
+// v5: adaptive-precision campaigns schedule reliability trials in
+// waves (Knobs.Wave/TrialOffset). Only wave jobs render v5 — a
+// non-wave job keeps rendering the v4 prefix verbatim, so the entire
+// pre-adaptive cache remains valid (fingerprint compatibility for
+// non-adaptive cells).
+const SpecVersion = 5
+
+// compatVersion is the fingerprint version rendered for non-wave
+// jobs: their input set is unchanged since v4, so re-keying them
+// would only throw away valid cache entries.
+const compatVersion = 4
+
+// Scale sets the simulation windows shared by every job of a campaign.
+type Scale struct {
+	Warmup    sim.Cycle `json:"warmup"`
+	Measure   sim.Cycle `json:"measure"`
+	Timeslice sim.Cycle `json:"timeslice"`
+}
+
+// Knobs is the declarative form of the sim.Config mutations the
+// evaluation sweeps over. Unlike a closure, a Knobs value is part of a
+// job's identity: it canonicalizes into the cache fingerprint, so two
+// jobs differing only in a knob never collide. The annotation below is
+// enforced by mmmlint's knobcover analyzer: every field added here
+// must be folded into Fingerprint/Key/SimSeed (with a SpecVersion
+// bump) or carry an explicit //mmm:knobcover-exempt reason, so a knob
+// outside the fingerprint — the silent cache-poisoning failure mode —
+// is a build error, not a code-review hope.
+//
+//mmm:knobcover Fingerprint,Key,SimSeed
+type Knobs struct {
+	// PABSerial selects the serial 2-cycle PAB lookup (Section 5.2).
+	PABSerial bool `json:"pab_serial,omitempty"`
+	// PABDisabled turns PAB enforcement off (fault-injection ablation).
+	PABDisabled bool `json:"pab_disabled,omitempty"`
+	// TSO selects total-store-order instead of the paper's SC.
+	TSO bool `json:"tso,omitempty"`
+	// FlushPerCycle overrides the Leave-DMR flush rate when positive.
+	FlushPerCycle int `json:"flush_per_cycle,omitempty"`
+	// FaultInterval, when positive, injects faults with this mean
+	// spacing in cycles.
+	FaultInterval float64 `json:"fault_interval,omitempty"`
+	// FaultKinds restricts injected manifestations to a comma-joined
+	// list of canonical kind names ("result-flip,tlb-flip"); empty
+	// injects all kinds. A string (not a slice) so Job stays
+	// comparable and deduplicable.
+	FaultKinds string `json:"fault_kinds,omitempty"`
+	// ReliaTrials, when positive, turns the job into a reliability
+	// evaluation batch: that many Monte Carlo fault-injection trials
+	// run and the result carries an outcome taxonomy instead of
+	// performance buckets (see internal/relia).
+	ReliaTrials int `json:"relia_trials,omitempty"`
+	// ForcePAB guards performance-mode stores with the PAB on system
+	// kinds that do not enable it by default (the pure
+	// performance-mode protection scenario).
+	ForcePAB bool `json:"force_pab,omitempty"`
+	// Policy names the runtime mode policy (internal/mode) deciding
+	// when core pairs couple into DMR and decouple back to performance
+	// mode: "" or "static" for the kind's pre-built behavior, or a
+	// dynamic policy spec such as "utilization", "duty-cycle:60000:25"
+	// or "fault-escalation". Expand canonicalizes and validates it.
+	Policy string `json:"policy,omitempty"`
+	// Wave, when positive, marks the job as the Wave'th (1-based)
+	// sequential-stopping increment of an adaptive-precision cell:
+	// ReliaTrials then counts only this wave's trials, and the trial
+	// windows derive from the cell's reference batch shape so every
+	// wave of a cell is statistically mergeable with the others. Wave
+	// 0 is a plain fixed-batch job and keeps the v4 fingerprint.
+	Wave int `json:"wave,omitempty"`
+	// TrialOffset is the global index of the wave's first trial within
+	// its cell: wave trials [TrialOffset, TrialOffset+ReliaTrials) use
+	// exactly the per-trial seeds a single fixed batch of the same
+	// total size would, which is what makes the merged aggregate
+	// provably equal to that batch.
+	TrialOffset int `json:"trial_offset,omitempty"`
+}
+
+// Apply mutates a sim.Config according to the knobs. PABDisabled and
+// FaultInterval act at the core.Options level, not here.
+func (k Knobs) Apply(cfg *sim.Config) {
+	if k.PABSerial {
+		cfg.PABSerial = true
+	}
+	if k.TSO {
+		cfg.TSO = true
+	}
+	if k.FlushPerCycle > 0 {
+		cfg.FlushPerCycle = k.FlushPerCycle
+	}
+}
+
+// Job is one fully specified simulation: a cell of the sweep
+// cross-product. Jobs are pure data so they can be expanded, hashed,
+// cached and distributed. Like Knobs, the field set is under knobcover
+// coverage: every field must reach the fingerprint/key/seed
+// derivation.
+//
+//mmm:knobcover Fingerprint,Key,SimSeed
+type Job struct {
+	Workload string    `json:"workload"`
+	Kind     core.Kind `json:"kind"`
+	Seed     uint64    `json:"seed"`
+	Variant  string    `json:"variant,omitempty"`
+	Knobs    Knobs     `json:"knobs"`
+}
+
+// Key is the aggregation key of the job's cell: runs differing only in
+// seed share a key and fold into one stats.Sample. A non-default mode
+// policy is its own key segment, so a policy sweep's cells never fold
+// into the static baseline's. Waves of one adaptive cell share the
+// cell's key — the wave index is an execution detail, not a cell.
+func (j Job) Key() string {
+	k := fmt.Sprintf("%s/%s", j.Workload, j.Kind)
+	if j.Variant != "" {
+		k += "/" + j.Variant
+	}
+	if j.Knobs.Policy != "" {
+		k += "/pol=" + j.Knobs.Policy
+	}
+	return k
+}
+
+// SimSeed derives the seed handed to the simulator. Mixing the cell
+// labels in decorrelates the random streams of different cells that
+// declare the same seed, and is stable across processes, so cached
+// results remain valid. The policy label is folded in only when set,
+// so every pre-policy cell keeps its historical stream. Waves share
+// the cell's seed: per-trial streams separate on the global trial
+// index (Knobs.TrialOffset + t) inside relia.RunBatch, which is what
+// keeps a waved cell's trials identical to a single batch's.
+func (j Job) SimSeed() uint64 {
+	if j.Knobs.Policy != "" {
+		return sim.DeriveSeed(j.Seed, j.Workload, j.Kind.String(), j.Variant, j.Knobs.Policy)
+	}
+	return sim.DeriveSeed(j.Seed, j.Workload, j.Kind.String(), j.Variant)
+}
+
+// Fingerprint is the content address of the job's result: a SHA-256
+// over the canonical rendering of (version, scale, every job
+// parameter). Equal fingerprints mean byte-identical simulations.
+// Non-wave jobs render the v4 prefix unchanged so every pre-adaptive
+// cache entry stays addressable; wave jobs render v5 plus their wave
+// coordinates.
+func (j Job) Fingerprint(sc Scale) string {
+	h := sha256.New()
+	v := compatVersion
+	if j.Knobs.Wave > 0 {
+		v = SpecVersion
+	}
+	fmt.Fprintf(h,
+		"v%d|warm=%d|meas=%d|slice=%d|wl=%s|kind=%s|seed=%d|var=%s|pabser=%t|pabdis=%t|tso=%t|flush=%d|fault=%g|fkinds=%s|rtrials=%d|fpab=%t|policy=%s",
+		v, sc.Warmup, sc.Measure, sc.Timeslice,
+		j.Workload, j.Kind, j.Seed, j.Variant,
+		j.Knobs.PABSerial, j.Knobs.PABDisabled, j.Knobs.TSO,
+		j.Knobs.FlushPerCycle, j.Knobs.FaultInterval,
+		j.Knobs.FaultKinds, j.Knobs.ReliaTrials, j.Knobs.ForcePAB,
+		j.Knobs.Policy)
+	if j.Knobs.Wave > 0 {
+		fmt.Fprintf(h, "|wave=%d|off=%d", j.Knobs.Wave, j.Knobs.TrialOffset)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

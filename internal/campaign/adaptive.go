@@ -1,0 +1,690 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/relia"
+	"repro/internal/stats"
+)
+
+// Adaptive-precision execution: sequential stopping in waves.
+//
+// A fixed-batch campaign spends the same trial budget on every cell,
+// so the budget is sized for the hardest cell and most of it is wasted
+// on cells whose proportions are nowhere near p=0.5. An adaptive
+// campaign instead declares a target precision (a Wilson half-width on
+// coverage or SDC probability) and lets each cell run just enough
+// trials: the planner expands every cell into deterministic *waves* of
+// trials, applies the stopping rule after each wave, and retires the
+// cell the moment its interval is narrow enough — or caps it at
+// MaxTrials, which Precision.Normalized defaults to the worst-case
+// (p=0.5) trial count, so every cell terminates within the target.
+//
+// Determinism is wave-shaped, not schedule-shaped. Wave k of a cell
+// always covers the same global trial indices ([offset, offset+size)),
+// each wave job's fingerprint derives from (cell fingerprint, wave
+// index, offset), and trial seeds derive from the global index — so
+// cached, resumed and distributed runs are byte-identical at equal
+// target precision, whatever order the scheduler ran the waves in.
+// Cells are independent: each one observes only its own waves, so
+// cross-cell completion order cannot change any stopping decision.
+// There is no global barrier — a cell's next wave is schedulable the
+// instant its previous wave lands, while other cells' waves are still
+// in flight, and freed capacity flows to the widest intervals first.
+
+// cellTemplate strips the wave-scheduling knobs off a job, leaving the
+// wave-invariant cell identity: every wave of one adaptive cell — and
+// the cell's original expanded job, whatever fixed trial count it
+// declared — maps to the same template. The template is the adaptive
+// run's cell key (journal indices, planner lookups, merged results).
+func cellTemplate(j Job) Job {
+	j.Knobs.ReliaTrials = 0
+	j.Knobs.Wave = 0
+	j.Knobs.TrialOffset = 0
+	return j
+}
+
+// cellState tracks one cell's sequential-stopping progress. All access
+// is serialized by the planner's caller (the engine's completion lock,
+// the dispatcher's board mutex).
+type cellState struct {
+	template Job
+	wave     int // waves scheduled so far
+	trials   int // trials scheduled so far
+	waves    int // waves completed so far
+	hits     int // completed waves served from the cache
+	cycles   uint64
+	faults   uint64
+	batches  []*core.ReliaBatch // completed waves, in wave order
+	half     float64            // Wilson half-width after the last completed wave
+	retired  bool
+	capped   bool // retired at MaxTrials instead of at target
+}
+
+// planner is the sequential-stopping state machine shared by the local
+// engine and the distributed dispatcher. It decides *what* runs (which
+// cell gets its next wave, when a cell retires); the caller decides
+// *where* (pool slot, worker lease). The planner holds no lock of its
+// own — callers serialize start/observe/results externally.
+type planner struct {
+	sc    Scale
+	prec  Precision
+	cells []*cellState
+	index map[Job]int
+}
+
+// newPlanner validates and expands an adaptive spec. Every expanded
+// job must be a fault-injection cell (the stopping rule is a Wilson
+// interval over fault outcomes; a cell that injects nothing can never
+// converge) and cells must stay distinct after the trial knobs are
+// stripped.
+func newPlanner(sc Scale, spec Spec) (*planner, error) {
+	if spec.Precision == nil {
+		return nil, fmt.Errorf("campaign: spec %q has no precision block", spec.Name)
+	}
+	prec := spec.Precision.Normalized()
+	if err := prec.Validate(); err != nil {
+		return nil, err
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("campaign: adaptive spec %q expands to no cells", spec.Name)
+	}
+	p := &planner{sc: sc, prec: prec, index: make(map[Job]int, len(jobs))}
+	for _, j := range jobs {
+		if j.Knobs.FaultInterval <= 0 {
+			return nil, fmt.Errorf(
+				"campaign: adaptive precision needs fault-injection cells: job %s has no fault_interval",
+				j.Key())
+		}
+		t := cellTemplate(j)
+		if _, dup := p.index[t]; dup {
+			return nil, fmt.Errorf(
+				"campaign: adaptive cells collide on %s after dropping trial knobs (cells may not differ only in relia_trials)",
+				j.Key())
+		}
+		p.index[t] = len(p.cells)
+		p.cells = append(p.cells, &cellState{template: t, half: 1})
+	}
+	return p, nil
+}
+
+// templates returns the cells' wave-invariant jobs in expansion order
+// (the journal's cell numbering).
+func (p *planner) templates() []Job {
+	out := make([]Job, len(p.cells))
+	for i, c := range p.cells {
+		out[i] = c.template
+	}
+	return out
+}
+
+// start schedules wave 1 of every cell.
+func (p *planner) start() []Job {
+	jobs := make([]Job, 0, len(p.cells))
+	for _, c := range p.cells {
+		jobs = append(jobs, p.nextWave(c))
+	}
+	return jobs
+}
+
+// nextWave mints the cell's next wave job: 1-based wave index, trial
+// offset continuing where the previous wave ended, size clamped so the
+// cell never exceeds MaxTrials.
+func (p *planner) nextWave(c *cellState) Job {
+	size := p.prec.WaveTrials
+	if rem := p.prec.MaxTrials - c.trials; size > rem {
+		size = rem
+	}
+	j := c.template
+	j.Knobs.Wave = c.wave + 1
+	j.Knobs.TrialOffset = c.trials
+	j.Knobs.ReliaTrials = size
+	c.wave++
+	c.trials += size
+	return j
+}
+
+// priority is a wave job's lease priority: its cell's current
+// half-width, so freed capacity always flows to the widest interval
+// (1 before any data — an unmeasured cell outranks every measured one).
+func (p *planner) priority(j Job) float64 {
+	if i, ok := p.index[cellTemplate(j)]; ok {
+		return p.cells[i].half
+	}
+	return 0
+}
+
+// halfWidth evaluates the stopping metric over the cell's merged waves.
+// With no exposed faults yet, Wilson reports the vacuous [0,1] interval
+// (half-width 0.5): the cell keeps scheduling until data arrives or
+// MaxTrials caps it — no precision claim without observations.
+func (p *planner) halfWidth(c *cellState) float64 {
+	merged := relia.MergeBatches(c.batches)
+	if merged == nil {
+		return 1
+	}
+	covered, exposed := relia.Coverage(merged, "")
+	num := covered
+	if p.prec.Metric == "sdc" {
+		num = exposed - covered
+	}
+	return stats.WilsonHalfWidth(num, exposed)
+}
+
+// waveOutcome is the planner's decision after one completed wave.
+type waveOutcome struct {
+	cell    int
+	retired bool
+	capped  bool
+	trials  int
+	half    float64
+	next    Job // the cell's next wave, valid when hasNext
+	hasNext bool
+}
+
+// observe folds one completed wave into its cell and applies the
+// stopping rule: retire when the interval is inside the target (and
+// MinTrials guards against a lucky first wave), cap at MaxTrials,
+// otherwise schedule the next wave. Waves of one cell are strictly
+// sequential — the caller only ever holds one wave of a cell in
+// flight — so batches accumulate in wave order and the merged
+// aggregate equals a single batch of the same trials.
+func (p *planner) observe(j Job, m core.Metrics, hit bool) (waveOutcome, error) {
+	i, ok := p.index[cellTemplate(j)]
+	if !ok {
+		return waveOutcome{}, fmt.Errorf("campaign: wave completion for unknown cell %s", j.Key())
+	}
+	c := p.cells[i]
+	if c.retired {
+		return waveOutcome{}, fmt.Errorf("campaign: wave completion for retired cell %s", j.Key())
+	}
+	if m.Relia == nil {
+		return waveOutcome{}, fmt.Errorf("campaign: wave of cell %s carried no trial batch", j.Key())
+	}
+	c.batches = append(c.batches, m.Relia)
+	c.cycles += m.Cycles
+	c.faults += m.FaultsInjected
+	c.waves++
+	if hit {
+		c.hits++
+	}
+	c.half = p.halfWidth(c)
+	switch {
+	case c.trials >= p.prec.MinTrials && c.half <= p.prec.HalfWidth:
+		c.retired = true
+	case c.trials >= p.prec.MaxTrials:
+		c.retired, c.capped = true, true
+	}
+	out := waveOutcome{cell: i, trials: c.trials, half: c.half,
+		retired: c.retired, capped: c.capped}
+	if !c.retired {
+		out.next, out.hasNext = p.nextWave(c), true
+	}
+	return out, nil
+}
+
+// mergedResult renders a retired cell as one campaign Result: the
+// template job (with the realized trial count — Key ignores it, so
+// aggregation is unaffected), wave batches merged in wave order, and
+// the additive counters summed. A cell counts as a cache hit only when
+// every one of its waves came from the cache — then a warm resume
+// re-simulated nothing.
+func (p *planner) mergedResult(c *cellState) Result {
+	j := c.template
+	j.Knobs.ReliaTrials = c.trials
+	return Result{
+		Job: j,
+		Metrics: core.Metrics{
+			Kind:           c.template.Kind,
+			Workload:       c.template.Workload,
+			Cycles:         c.cycles,
+			FaultsInjected: c.faults,
+			Relia:          relia.MergeBatches(c.batches),
+		},
+		CacheHit: c.waves > 0 && c.hits == c.waves,
+	}
+}
+
+// results returns every cell's merged result in expansion order,
+// erroring if any cell is still open (an internal scheduling bug —
+// MaxTrials guarantees termination, so an open cell at campaign end
+// means waves were lost).
+func (p *planner) results() ([]Result, error) {
+	out := make([]Result, len(p.cells))
+	for i, c := range p.cells {
+		if !c.retired {
+			return nil, fmt.Errorf("campaign: internal: cell %s still open at campaign end", c.template.Key())
+		}
+		out[i] = p.mergedResult(c)
+	}
+	return out, nil
+}
+
+// waveQueue is the local engine's dynamic work queue. Unlike the fixed
+// engine's pre-sized channel, waves appear as the planner schedules
+// them; pops serve the widest interval first (FIFO among equals) and
+// the queue itself detects termination — nothing pending and nothing
+// in flight — without any global barrier.
+type waveQueue struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	items       []waveItem
+	outstanding int // added but not yet finished (queued + in flight)
+	closed      bool
+}
+
+type waveItem struct {
+	job  Job
+	prio float64
+}
+
+func newWaveQueue() *waveQueue {
+	q := &waveQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// add enqueues one wave; it counts as outstanding until finish.
+func (q *waveQueue) add(j Job, prio float64) {
+	q.mu.Lock()
+	q.items = append(q.items, waveItem{job: j, prio: prio})
+	q.outstanding++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until a wave is available, the campaign is over (queue
+// empty with nothing in flight), or the queue is closed.
+func (q *waveQueue) pop() (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return Job{}, false
+		}
+		if len(q.items) > 0 {
+			best := 0
+			for i := 1; i < len(q.items); i++ {
+				if q.items[i].prio > q.items[best].prio {
+					best = i
+				}
+			}
+			j := q.items[best].job
+			q.items = append(q.items[:best], q.items[best+1:]...)
+			return j, true
+		}
+		if q.outstanding == 0 {
+			return Job{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// finish retires one popped wave. The worker calls it only after any
+// follow-up wave was added, so outstanding can never dip to zero while
+// a cell still owes work.
+func (q *waveQueue) finish() {
+	q.mu.Lock()
+	q.outstanding--
+	drained := q.outstanding == 0 && len(q.items) == 0
+	q.mu.Unlock()
+	if drained {
+		q.cond.Broadcast()
+	}
+}
+
+// closeNow drains the queue unconditionally (cancellation or failure);
+// blocked pops return immediately.
+func (q *waveQueue) closeNow() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// RunSpec executes a whole campaign spec: fixed-batch specs expand and
+// run exactly as Run does; a spec with a Precision block runs
+// adaptively.
+func (e *Engine) RunSpec(ctx context.Context, sc Scale, spec Spec) (*ResultSet, error) {
+	if spec.Precision == nil {
+		jobs, err := spec.Expand()
+		if err != nil {
+			return nil, err
+		}
+		return e.Run(ctx, sc, jobs)
+	}
+	return e.runAdaptive(ctx, sc, spec)
+}
+
+// runAdaptive is the local sequential-stopping executor. Completion
+// handling (planner feed, retirement, rescheduling) is serialized
+// under one mutex at wave granularity — the same trade-off the fixed
+// engine makes for progress callbacks — while simulations run on the
+// bounded pool.
+func (e *Engine) runAdaptive(ctx context.Context, sc Scale, spec Spec) (*ResultSet, error) {
+	start := time.Now()
+	p, err := newPlanner(sc, spec)
+	if err != nil {
+		return nil, err
+	}
+	e.opts.Journal.BeginAdaptive(sc, p.templates(), p.prec)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu          sync.Mutex
+		firstErr    error
+		mergedCells int
+		hitWaves    int
+		waves       int
+	)
+	q := newWaveQueue()
+	go func() {
+		<-ctx.Done()
+		q.closeNow()
+	}()
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	// completeLocked feeds one finished wave to the planner; on
+	// retirement it journals the cell's exit and merged aggregate and
+	// reports progress in retired cells (the adaptive analogue of
+	// done-out-of-total).
+	completeLocked := func(j Job, m core.Metrics, hit bool, worker string, wall time.Duration) (Job, bool, error) {
+		e.opts.Journal.CellDone(0, j, m, hit, worker, wall, 1)
+		waves++
+		if hit {
+			hitWaves++
+		}
+		out, err := p.observe(j, m, hit)
+		if err != nil {
+			return Job{}, false, err
+		}
+		if out.hasNext {
+			return out.next, true, nil
+		}
+		c := p.cells[out.cell]
+		res := p.mergedResult(c)
+		e.opts.Journal.CellRetired(c.template, c.trials, c.half, c.capped)
+		e.opts.Journal.CellMerged(c.template, res.Metrics, res.CacheHit)
+		mergedCells++
+		if e.opts.OnProgress != nil {
+			e.opts.OnProgress(mergedCells, len(p.cells), hitWaves)
+		}
+		return Job{}, false, nil
+	}
+
+	// scheduleLocked journals a frontier of waves and enqueues the
+	// cache misses. Hits resolve inline and chain: a warm cache can
+	// retire a cell — or carry it several waves forward — without the
+	// pool ever seeing it, which is why a warm resume re-schedules only
+	// unfinished waves.
+	scheduleLocked := func(frontier []Job) error {
+		for len(frontier) > 0 {
+			j := frontier[0]
+			frontier = frontier[1:]
+			e.opts.Journal.WaveScheduled(j, p.priority(j))
+			if e.opts.Cache != nil {
+				if m, ok := e.opts.Cache.Get(j.Fingerprint(sc)); ok {
+					next, more, err := completeLocked(j, m, true, "", 0)
+					if err != nil {
+						return err
+					}
+					if more {
+						frontier = append(frontier, next)
+					}
+					continue
+				}
+			}
+			q.add(j, p.priority(j))
+		}
+		return nil
+	}
+
+	// Seed the queue before any worker starts: an empty queue with
+	// nothing outstanding means "campaign over", so workers must not
+	// observe the pre-seed state.
+	mu.Lock()
+	err = scheduleLocked(p.start())
+	mu.Unlock()
+	if err != nil {
+		fail(err)
+	}
+
+	var wg sync.WaitGroup
+	if firstErr == nil {
+		for w := 0; w < e.opts.Parallel; w++ {
+			label := "local-" + strconv.Itoa(w)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				scratch := cache.NewRecycler()
+				for {
+					j, ok := q.pop()
+					if !ok {
+						return
+					}
+					e.opts.Journal.Started(0, j, label, 1)
+					rec := traceRecorder(e.opts.TraceDir, e.opts.TraceMatch, j)
+					jobStart := time.Now()
+					m, err := runJob(sc, j, scratch, rec)
+					if err != nil {
+						e.opts.Journal.CellFailed(0, j, label, 1, err.Error())
+						fail(err)
+						q.finish()
+						return
+					}
+					if e.opts.OnJobTime != nil {
+						e.opts.OnJobTime(time.Since(jobStart))
+					}
+					if rec != nil {
+						if err := writeTrace(e.opts.TraceDir, j, rec); err != nil {
+							fail(err)
+							q.finish()
+							return
+						}
+						if e.opts.OnTrace != nil {
+							e.opts.OnTrace(rec.Total(), rec.Dropped())
+						}
+					}
+					if e.opts.Cache != nil {
+						if err := e.opts.Cache.Put(j.Fingerprint(sc), m); err != nil {
+							fail(err)
+							q.finish()
+							return
+						}
+					}
+					mu.Lock()
+					next, more, err := completeLocked(j, m, false, label, time.Since(jobStart))
+					if err == nil && more {
+						err = scheduleLocked([]Job{next})
+					}
+					mu.Unlock()
+					if err != nil {
+						fail(err)
+						q.finish()
+						return
+					}
+					q.finish()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results, err := p.results()
+	if err != nil {
+		return nil, err
+	}
+	return &ResultSet{
+		Scale:   sc,
+		Results: results,
+		Hits:    hitWaves,
+		Misses:  waves - hitWaves,
+		Wall:    time.Since(start),
+	}, nil
+}
+
+// RunSpec executes a whole campaign spec across the fleet: fixed-batch
+// specs dispatch exactly as Run does; a spec with a Precision block
+// runs adaptively, with the lease board re-leasing capacity freed by
+// retired cells to the widest remaining intervals.
+func (d *Dispatcher) RunSpec(ctx context.Context, sc Scale, spec Spec) (*ResultSet, error) {
+	if spec.Precision == nil {
+		jobs, err := spec.Expand()
+		if err != nil {
+			return nil, err
+		}
+		return d.Run(ctx, sc, jobs)
+	}
+	return d.runAdaptive(ctx, sc, spec)
+}
+
+// runAdaptive is the distributed sequential-stopping executor: the
+// same planner as the local engine, fed from the board's completion
+// path. The board's expand hook runs under its mutex, so planner
+// access is serialized exactly like the engine's completion lock, and
+// a cell's follow-up wave joins the lease queue the moment its
+// previous wave lands — per-cell wave barriers, no global one.
+func (d *Dispatcher) runAdaptive(ctx context.Context, sc Scale, spec Spec) (*ResultSet, error) {
+	if len(d.opts.Workers) == 0 {
+		return nil, fmt.Errorf("campaign: dispatcher has no workers")
+	}
+	start := time.Now()
+	p, err := newPlanner(sc, spec)
+	if err != nil {
+		return nil, err
+	}
+	d.opts.Journal.BeginAdaptive(sc, p.templates(), p.prec)
+
+	mergedCells, hitWaves, waves := 0, 0, 0
+
+	// feed mirrors the engine's completeLocked. Board completions are
+	// already journaled by the board itself; cache hits (prepass and
+	// chained) are journaled here, like Run's hit prepass.
+	feed := func(j Job, m core.Metrics, hit bool) (Job, bool, error) {
+		if hit {
+			d.opts.Journal.CellDone(0, j, m, true, "", 0, 0)
+		}
+		waves++
+		if hit {
+			hitWaves++
+		}
+		out, err := p.observe(j, m, hit)
+		if err != nil {
+			return Job{}, false, err
+		}
+		if out.hasNext {
+			return out.next, true, nil
+		}
+		c := p.cells[out.cell]
+		res := p.mergedResult(c)
+		d.opts.Journal.CellRetired(c.template, c.trials, c.half, c.capped)
+		d.opts.Journal.CellMerged(c.template, res.Metrics, res.CacheHit)
+		mergedCells++
+		if d.opts.OnProgress != nil {
+			d.opts.OnProgress(mergedCells, len(p.cells), hitWaves)
+		}
+		return Job{}, false, nil
+	}
+
+	// schedule journals a frontier, resolves cache hits inline (hit
+	// chains never touch the fleet) and returns the waves that must
+	// actually run, each carrying its cell's current half-width as
+	// lease priority.
+	schedule := func(frontier []Job) ([]prioJob, error) {
+		var misses []prioJob
+		for len(frontier) > 0 {
+			j := frontier[0]
+			frontier = frontier[1:]
+			d.opts.Journal.WaveScheduled(j, p.priority(j))
+			if d.opts.Cache != nil {
+				if m, ok := d.opts.Cache.Get(j.Fingerprint(sc)); ok {
+					next, more, err := feed(j, m, true)
+					if err != nil {
+						return nil, err
+					}
+					if more {
+						frontier = append(frontier, next)
+					}
+					continue
+				}
+			}
+			misses = append(misses, prioJob{job: j, prio: p.priority(j)})
+		}
+		return misses, nil
+	}
+
+	initial, err := schedule(p.start())
+	if err != nil {
+		return nil, err
+	}
+
+	if len(initial) > 0 {
+		jobs := make([]Job, len(initial))
+		todo := make([]int, len(initial))
+		prio := make(map[int]float64, len(initial))
+		for i, pj := range initial {
+			jobs[i] = pj.job
+			todo[i] = i
+			prio[i] = pj.prio
+		}
+		b := newBoard(sc, jobs, todo, d.opts.LeaseTTL, d.opts.MaxInflight, d.opts.MaxAttempts, nil)
+		b.prio = prio
+		b.fobs = d.opts.Obs
+		b.jnl = d.opts.Journal
+		b.expand = func(idx int, m core.Metrics) ([]prioJob, error) {
+			if d.opts.Cache != nil {
+				if err := d.opts.Cache.Put(b.jobs[idx].Fingerprint(sc), m); err != nil {
+					return nil, err
+				}
+			}
+			next, more, err := feed(b.jobs[idx], m, false)
+			if err != nil || !more {
+				return nil, err
+			}
+			return schedule([]Job{next})
+		}
+		if err := d.serve(ctx, b); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results, err := p.results()
+	if err != nil {
+		return nil, err
+	}
+	return &ResultSet{
+		Scale:   sc,
+		Results: results,
+		Hits:    hitWaves,
+		Misses:  waves - hitWaves,
+		Wall:    time.Since(start),
+	}, nil
+}

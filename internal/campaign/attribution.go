@@ -1,9 +1,9 @@
 package campaign
 
 import (
-	"fmt"
-	"io"
 	"sort"
+
+	"repro/internal/api"
 )
 
 // Wall-clock attribution over a run journal: where did the campaign's
@@ -16,57 +16,15 @@ import (
 // (mmmtail -follow), post-hoc (mmmtail -report) and in GET
 // /campaigns/{id}.
 
-// WorkerReport is one worker's share of a run.
-type WorkerReport struct {
-	Worker string `json:"worker"`
-	// Jobs counts completions (cache hits are coordinator-local and
-	// attributed to no worker).
-	Jobs     int `json:"jobs"`
-	Failures int `json:"failures"`
-	// BusySeconds sums the worker's completed-attempt wall times;
-	// BusyPct is that against the run's wall clock — the utilization of
-	// a dedicated worker (time not busy was idle or lost to churn).
-	BusySeconds float64 `json:"busy_seconds"`
-	BusyPct     float64 `json:"busy_pct"`
-}
-
-// GroupReport aggregates job seconds per workload x kind group —
-// the straggler axis: a group whose p99 dwarfs its p50 is where the
-// fleet's tail lives.
-type GroupReport struct {
-	Group string  `json:"group"`
-	Jobs  int     `json:"jobs"`
-	P50   float64 `json:"p50_seconds"`
-	P95   float64 `json:"p95_seconds"`
-	P99   float64 `json:"p99_seconds"`
-	Max   float64 `json:"max_seconds"`
-}
-
-// CellReport is one straggler: a slowest-N simulated cell.
-type CellReport struct {
-	Cell    int     `json:"cell"`
-	Key     string  `json:"key"`
-	Worker  string  `json:"worker,omitempty"`
-	Seconds float64 `json:"seconds"`
-}
-
-// Report is the wall-clock attribution of one run.
-type Report struct {
-	Run              string         `json:"run,omitempty"`
-	Outcome          string         `json:"outcome"`
-	Cells            int            `json:"cells"`
-	Merged           int            `json:"merged"`
-	CacheHits        int            `json:"cache_hits"`
-	CacheHitPct      float64        `json:"cache_hit_pct"`
-	WallSeconds      float64        `json:"wall_seconds"`
-	BusySeconds      float64        `json:"busy_seconds"`
-	Failures         int            `json:"failures"`
-	Reassignments    int            `json:"reassignments"`
-	HeartbeatsMissed int            `json:"heartbeats_missed"`
-	Workers          []WorkerReport `json:"workers,omitempty"`
-	Groups           []GroupReport  `json:"groups,omitempty"`
-	Stragglers       []CellReport   `json:"stragglers,omitempty"`
-}
+// The report types live in internal/api (GET /v1/campaigns/{id}
+// embeds the report and mmmtail renders it); Attribute — the journal
+// fold that computes them — stays here with the journal it reads.
+type (
+	WorkerReport = api.WorkerReport
+	GroupReport  = api.GroupReport
+	CellReport   = api.CellReport
+	Report       = api.Report
+)
 
 // maxStragglers bounds the slowest-cells list.
 const maxStragglers = 5
@@ -99,11 +57,24 @@ func Attribute(runID string, events []Event) Report {
 	var simulated []cellTime
 	groups := map[string][]float64{}
 
+	maxTrials, waves := 0, 0
 	for i := range events {
 		ev := &events[i]
 		switch ev.Type {
 		case EventExpanded:
 			rep.Cells = ev.Total
+			if ev.Precision != nil {
+				rep.Adaptive = true
+				maxTrials = ev.Precision.MaxTrials
+			}
+		case EventWaveScheduled:
+			waves++
+			rep.TrialsScheduled += ev.Trials
+		case EventCellRetired:
+			rep.CellsRetired++
+			if ev.Capped {
+				rep.CellsCapped++
+			}
 		case EventCacheHit:
 			rep.CacheHits++
 		case EventCompleted:
@@ -143,8 +114,22 @@ func Attribute(runID string, events []Event) Report {
 	if rep.Cells > 0 && rep.Merged == rep.Cells && rep.Outcome == "running" {
 		rep.Outcome = "done"
 	}
-	if rep.Merged > 0 {
+	if rep.Adaptive && waves > 0 {
+		// Adaptive cache hits land per wave; rate them against waves
+		// scheduled, not cells merged.
+		rep.CacheHitPct = 100 * float64(rep.CacheHits) / float64(waves)
+	} else if rep.Merged > 0 {
 		rep.CacheHitPct = 100 * float64(rep.CacheHits) / float64(rep.Merged)
+	}
+	if rep.Adaptive {
+		// Trials saved vs fixed: the fixed-batch equivalent of an
+		// adaptive run is cells x MaxTrials — the worst-case sample a
+		// fixed design must provision to promise the same half-width
+		// (see stats.WorstCaseTrials, the MaxTrials default).
+		rep.TrialsFixed = rep.Cells * maxTrials
+		if rep.TrialsFixed > 0 {
+			rep.TrialsSavedPct = 100 * (1 - float64(rep.TrialsScheduled)/float64(rep.TrialsFixed))
+		}
 	}
 
 	names := make([]string, 0, len(workers))
@@ -209,41 +194,4 @@ func percentile(sorted []float64, p float64) float64 {
 		rank = len(sorted) - 1
 	}
 	return sorted[rank]
-}
-
-// WriteText renders the report for terminals (mmmtail).
-func (r Report) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "run %s: %s — %d/%d cells merged, %d cache hits (%.0f%%), wall %.2fs\n",
-		orDash(r.Run), r.Outcome, r.Merged, r.Cells, r.CacheHits, r.CacheHitPct, r.WallSeconds)
-	if r.Failures > 0 || r.Reassignments > 0 || r.HeartbeatsMissed > 0 {
-		fmt.Fprintf(w, "churn: %d failed attempts, %d reassignments, %d missed heartbeats\n",
-			r.Failures, r.Reassignments, r.HeartbeatsMissed)
-	}
-	if len(r.Workers) > 0 {
-		fmt.Fprintf(w, "workers:\n")
-		for _, wr := range r.Workers {
-			fmt.Fprintf(w, "  %-16s %4d jobs  busy %8.2fs  util %5.1f%%  failures %d\n",
-				wr.Worker, wr.Jobs, wr.BusySeconds, wr.BusyPct, wr.Failures)
-		}
-	}
-	if len(r.Groups) > 0 {
-		fmt.Fprintf(w, "job seconds by workload/kind (p50/p95/p99/max):\n")
-		for _, g := range r.Groups {
-			fmt.Fprintf(w, "  %-28s %3d jobs  %6.2f %6.2f %6.2f %6.2f\n",
-				g.Group, g.Jobs, g.P50, g.P95, g.P99, g.Max)
-		}
-	}
-	if len(r.Stragglers) > 0 {
-		fmt.Fprintf(w, "stragglers:\n")
-		for _, s := range r.Stragglers {
-			fmt.Fprintf(w, "  cell %-4d %-32s %6.2fs  %s\n", s.Cell, s.Key, s.Seconds, orDash(s.Worker))
-		}
-	}
-}
-
-func orDash(s string) string {
-	if s == "" {
-		return "-"
-	}
-	return s
 }

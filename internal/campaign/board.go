@@ -40,22 +40,36 @@ type board struct {
 	// Journal methods take only the journal's own lock, so calling them
 	// under b.mu cannot deadlock.
 	jnl *Journal
+	// expand, when non-nil, runs under mu after each first completion
+	// (after onComplete) and may append follow-up jobs to the board —
+	// the adaptive planner scheduling a cell's next wave off the wave
+	// that just landed. Returned jobs join the queue immediately, so a
+	// freed worker's very next lease poll can pick one up; the board
+	// only closes when a completion yields no expansion and nothing is
+	// left. Like onComplete, it must not call back into the board, and
+	// an error fails the campaign.
+	expand func(idx int, m core.Metrics) ([]prioJob, error)
 
 	mu          sync.Mutex
 	lastContact time.Time // any worker request; stall detection
-	pending     []int     // job indices awaiting a lease, FIFO
-	attempts    map[int]int
-	completed   map[int]bool
-	results     map[int]core.Metrics
-	leases      map[string]*lease
-	workers     map[string]*workerHealth
-	inflight    int
-	seq         int
-	done        int
-	need        int
-	closed      bool
-	err         error
-	doneCh      chan struct{}
+	// pending holds job indices awaiting a lease. With prio unset (fixed
+	// campaigns) it is a plain FIFO; with prio set (adaptive campaigns)
+	// leases pop the highest-priority index — the widest confidence
+	// interval — FIFO among equals.
+	pending   []int
+	prio      map[int]float64
+	attempts  map[int]int
+	completed map[int]bool
+	results   map[int]core.Metrics
+	leases    map[string]*lease
+	workers   map[string]*workerHealth
+	inflight  int
+	seq       int
+	done      int
+	need      int
+	closed    bool
+	err       error
+	doneCh    chan struct{}
 }
 
 // lease is one outstanding job assignment. A lease record is kept
@@ -168,8 +182,7 @@ func (b *board) handleLease(w http.ResponseWriter, req *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	idx := b.pending[0]
-	b.pending = b.pending[1:]
+	idx := b.popPendingLocked()
 	b.seq++
 	l := &lease{
 		id:      fmt.Sprintf("l%d", b.seq),
@@ -269,10 +282,61 @@ func (b *board) handleComplete(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
+	// Expansion must run before the done==need check: a wave completion
+	// that schedules a follow-up wave grows need in the same critical
+	// section, so the board can never close with a cell still owing
+	// trials.
+	if b.expand != nil {
+		added, err := b.expand(idx, *cr.Metrics)
+		if err != nil {
+			b.closeLocked(err)
+			b.writeGoneLocked(w)
+			return
+		}
+		for _, pj := range added {
+			b.addJobLocked(pj)
+		}
+	}
 	if b.done == b.need {
 		b.closeLocked(nil)
 	}
 	writeJSONTo(w, http.StatusOK, map[string]string{"status": "accepted"})
+}
+
+// prioJob pairs a dynamically added job with its lease priority (the
+// scheduling cell's current half-width).
+type prioJob struct {
+	job  Job
+	prio float64
+}
+
+// popPendingLocked removes and returns the next index to lease:
+// highest priority first when the board is prioritized, FIFO otherwise
+// and among equals.
+func (b *board) popPendingLocked() int {
+	best := 0
+	if b.prio != nil {
+		for i := 1; i < len(b.pending); i++ {
+			if b.prio[b.pending[i]] > b.prio[b.pending[best]] {
+				best = i
+			}
+		}
+	}
+	idx := b.pending[best]
+	b.pending = append(b.pending[:best], b.pending[best+1:]...)
+	return idx
+}
+
+// addJobLocked appends an expansion job to the board's queue.
+func (b *board) addJobLocked(pj prioJob) {
+	idx := len(b.jobs)
+	b.jobs = append(b.jobs, pj.job)
+	b.need++
+	if b.prio == nil {
+		b.prio = make(map[int]float64)
+	}
+	b.prio[idx] = pj.prio
+	b.pending = append(b.pending, idx)
 }
 
 // jobFailedLocked records a failed attempt: the worker backs off and

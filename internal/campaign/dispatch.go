@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 )
 
@@ -142,65 +143,7 @@ func (d *Dispatcher) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet,
 	b.jnl = d.opts.Journal
 
 	if len(todo) > 0 {
-		ln, err := net.Listen("tcp", d.opts.Addr)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: coordinator listen: %w", err)
-		}
-		srv := &http.Server{Handler: b.handler()}
-		go func() { _ = srv.Serve(ln) }() // Serve returns once Close tears the listener down
-		defer srv.Close()
-
-		boardURL := d.opts.Advertise
-		if boardURL == "" {
-			boardURL = "http://" + ln.Addr().String()
-		}
-		attached := 0
-		var lastErr error
-		for _, w := range d.opts.Workers {
-			if err := attachWorker(ctx, w, boardURL); err != nil {
-				lastErr = err
-				continue
-			}
-			attached++
-		}
-		if attached == 0 {
-			b.close(lastErr)
-			return nil, fmt.Errorf("campaign: no worker attached: %w", lastErr)
-		}
-
-		// Reap expired leases — and watch for total fleet loss — until
-		// the board closes.
-		reapDone := make(chan struct{})
-		go func() {
-			defer close(reapDone)
-			t := time.NewTicker(d.opts.LeaseTTL / 4)
-			defer t.Stop()
-			for {
-				select {
-				case <-b.doneCh:
-					return
-				case now := <-t.C:
-					b.reap(now)
-					if idle := b.idleFor(now); idle > d.opts.StallTimeout {
-						b.close(fmt.Errorf(
-							"campaign: no worker contact for %v: fleet lost", idle.Round(time.Second)))
-						return
-					}
-				}
-			}
-		}()
-
-		select {
-		case <-ctx.Done():
-			// Revoke everything in flight *before* returning: a
-			// SIGTERM'd coordinator must leave no orphaned leases, and
-			// any completion racing in after this point is rejected
-			// with 410 and discarded.
-			b.close(ctx.Err())
-		case <-b.doneCh:
-		}
-		<-reapDone
-		if err := b.wait(); err != nil {
+		if err := d.serve(ctx, b); err != nil {
 			return nil, err
 		}
 	}
@@ -213,6 +156,73 @@ func (d *Dispatcher) Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet,
 	return rs, nil
 }
 
+// serve runs one board to completion: listen, invite the fleet to
+// pull, reap expired leases (watching for total fleet loss) until the
+// board closes, and return its terminal error. Shared by the fixed and
+// adaptive dispatch paths — the board's queue discipline differs, the
+// lease protocol around it does not.
+func (d *Dispatcher) serve(ctx context.Context, b *board) error {
+	ln, err := net.Listen("tcp", d.opts.Addr)
+	if err != nil {
+		return fmt.Errorf("campaign: coordinator listen: %w", err)
+	}
+	srv := &http.Server{Handler: b.handler()}
+	go func() { _ = srv.Serve(ln) }() // Serve returns once Close tears the listener down
+	defer srv.Close()
+
+	boardURL := d.opts.Advertise
+	if boardURL == "" {
+		boardURL = "http://" + ln.Addr().String()
+	}
+	attached := 0
+	var lastErr error
+	for _, w := range d.opts.Workers {
+		if err := attachWorker(ctx, w, boardURL); err != nil {
+			lastErr = err
+			continue
+		}
+		attached++
+	}
+	if attached == 0 {
+		b.close(lastErr)
+		return fmt.Errorf("campaign: no worker attached: %w", lastErr)
+	}
+
+	// Reap expired leases — and watch for total fleet loss — until
+	// the board closes.
+	reapDone := make(chan struct{})
+	go func() {
+		defer close(reapDone)
+		t := time.NewTicker(d.opts.LeaseTTL / 4)
+		defer t.Stop()
+		for {
+			select {
+			case <-b.doneCh:
+				return
+			case now := <-t.C:
+				b.reap(now)
+				if idle := b.idleFor(now); idle > d.opts.StallTimeout {
+					b.close(fmt.Errorf(
+						"campaign: no worker contact for %v: fleet lost", idle.Round(time.Second)))
+					return
+				}
+			}
+		}
+	}()
+
+	select {
+	case <-ctx.Done():
+		// Revoke everything in flight *before* returning: a
+		// SIGTERM'd coordinator must leave no orphaned leases, and
+		// any completion racing in after this point is rejected
+		// with 410 and discarded.
+		b.close(ctx.Err())
+	case <-b.doneCh:
+	}
+	<-reapDone
+	return b.wait()
+}
+
 // attachWorker invites one worker to pull from the board.
 func attachWorker(ctx context.Context, workerURL, boardURL string) error {
 	body, err := json.Marshal(attachRequest{Coordinator: boardURL, Check: protocolCheck()})
@@ -220,7 +230,7 @@ func attachWorker(ctx context.Context, workerURL, boardURL string) error {
 		return err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		workerURL+"/attach", bytes.NewReader(body))
+		workerURL+api.PathPrefix+"/attach", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}

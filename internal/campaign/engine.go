@@ -234,7 +234,7 @@ func runJob(sc Scale, j Job, scratch *cache.Recycler, rec *obs.Recorder) (core.M
 	}
 	cfg := sim.DefaultConfig()
 	cfg.TimesliceCycles = sc.Timeslice
-	j.Knobs.apply(cfg)
+	j.Knobs.Apply(cfg)
 	opts := core.Options{
 		Cfg:         cfg,
 		Kind:        j.Kind,
@@ -277,14 +277,26 @@ func parseFaultKinds(s string) []fault.Kind {
 // the outcome taxonomy. The batch rides in Metrics.Relia so it flows
 // through the same cache and aggregation as performance jobs.
 func runReliaJob(sc Scale, j Job, wl *workload.Params, scratch *cache.Recycler, rec *obs.Recorder) (core.Metrics, error) {
-	warmup, measure, timeslice := relia.TrialWindows(sc.Warmup, sc.Measure, j.Knobs.ReliaTrials)
+	// Wave jobs (adaptive-precision increments of one cell) size their
+	// per-trial windows from the cell's reference batch shape — not
+	// from the wave's own trial count — so every wave of a cell runs
+	// statistically identical trials and the merged aggregate equals a
+	// single batch of the same trials. Fixed-batch jobs keep the
+	// historical trials-dependent windows (their cached results pin
+	// them).
+	windowTrials := j.Knobs.ReliaTrials
+	if j.Knobs.Wave > 0 {
+		windowTrials = DefaultReliaTrials
+	}
+	warmup, measure, timeslice := relia.TrialWindows(sc.Warmup, sc.Measure, windowTrials)
 	// Design knobs (serial PAB, TSO, flush rate) apply to reliability
 	// trials exactly as they do to performance jobs — the fingerprint
 	// distinguishes those cells, so their results must differ too.
 	cfg := sim.DefaultConfig()
-	j.Knobs.apply(cfg)
+	j.Knobs.Apply(cfg)
 	batch, err := relia.RunBatch(relia.BatchSpec{
-		Trials: j.Knobs.ReliaTrials,
+		Trials:     j.Knobs.ReliaTrials,
+		FirstTrial: j.Knobs.TrialOffset,
 		Trial: relia.TrialSpec{
 			Kind:         j.Kind,
 			Workload:     wl,

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 )
 
@@ -38,65 +39,29 @@ func isCanceled(err error) bool {
 // — ReplayResults is the crash post-mortem path and the
 // exactly-once-merge regression oracle.
 
-// EventType classifies one journal event. The vocabulary is stable:
-// JSONL journals are read across builds.
-type EventType string
-
-const (
-	// EventExpanded opens a run: the spec expanded to Total cells at
-	// Scale. Always the first event (Cell = -1).
-	EventExpanded EventType = "expanded"
-	// EventCacheHit marks a cell served from the result cache without
-	// simulation.
-	EventCacheHit EventType = "cache_hit"
-	// EventLeased marks a cell leased to a worker (Attempt starts at 1).
-	EventLeased EventType = "leased"
-	// EventStarted marks a cell beginning simulation (for distributed
-	// runs this coincides with the lease grant — workers lease only
-	// into a free slot and run immediately).
-	EventStarted EventType = "started"
-	// EventHeartbeatMissed marks a lease reaped after its worker went
-	// silent; the cell returns to the queue.
-	EventHeartbeatMissed EventType = "heartbeat_missed"
-	// EventReassigned marks a lease grant that retries a previously
-	// attempted cell (always paired with an EventLeased of Attempt > 1).
-	EventReassigned EventType = "reassigned"
-	// EventCompleted marks a cell's simulation finishing, in completion
-	// order, with the attempt's wall time.
-	EventCompleted EventType = "completed"
-	// EventFailed marks a failed attempt (Cell >= 0, Error set) or —
-	// with Cell = -1 — the run failing terminally.
-	EventFailed EventType = "failed"
-	// EventMerged marks a cell's result entering the deterministic
-	// merged prefix, in expansion order, carrying the full Job and
-	// Metrics payload. Exactly one per cell, Cell strictly increasing.
-	EventMerged EventType = "merged"
-	// EventCanceled marks the run canceled (Cell = -1). Terminal.
-	EventCanceled EventType = "canceled"
+// EventType classifies one journal event; Event is one record. Both
+// live in internal/api (the SSE endpoint streams them verbatim and
+// mmmtail decodes them); the vocabulary is stable — JSONL journals
+// are read across builds.
+type (
+	EventType = api.EventType
+	Event     = api.Event
 )
 
-// Event is one journal record. Cell is the job's index in expansion
-// order, or -1 for run-level events. Only EventMerged carries the Job
-// and Metrics payloads — every other event stays compact (Key labels
-// the cell).
-type Event struct {
-	Seq     int64         `json:"seq"`
-	Time    time.Time     `json:"time"`
-	Type    EventType     `json:"type"`
-	Run     string        `json:"run,omitempty"`
-	Cell    int           `json:"cell"`
-	Key     string        `json:"key,omitempty"`
-	Worker  string        `json:"worker,omitempty"`
-	Attempt int           `json:"attempt,omitempty"`
-	WallMS  int64         `json:"wall_ms,omitempty"`
-	Error   string        `json:"error,omitempty"`
-	Total   int           `json:"total,omitempty"`
-	Scale   *Scale        `json:"scale,omitempty"`
-	Hit     bool          `json:"hit,omitempty"`
-	Fp      string        `json:"fp,omitempty"`
-	Job     *Job          `json:"job,omitempty"`
-	Metrics *core.Metrics `json:"metrics,omitempty"`
-}
+const (
+	EventExpanded        = api.EventExpanded
+	EventCacheHit        = api.EventCacheHit
+	EventLeased          = api.EventLeased
+	EventStarted         = api.EventStarted
+	EventHeartbeatMissed = api.EventHeartbeatMissed
+	EventReassigned      = api.EventReassigned
+	EventCompleted       = api.EventCompleted
+	EventFailed          = api.EventFailed
+	EventMerged          = api.EventMerged
+	EventCanceled        = api.EventCanceled
+	EventWaveScheduled   = api.EventWaveScheduled
+	EventCellRetired     = api.EventCellRetired
+)
 
 // stagedCell is a completed-but-not-yet-merged cell result awaiting
 // its turn in the expansion-order prefix.
@@ -133,6 +98,13 @@ type Journal struct {
 	scale  Scale
 	next   int // next cell index to merge
 	staged map[int]*stagedCell
+
+	// Adaptive runs: cell indices are cell-template lookups, not the
+	// board's job indices (the board numbers waves, the journal numbers
+	// cells), and the merged prefix is fed by CellMerged instead of
+	// CellDone — one merged event per retired cell.
+	adaptive bool
+	cells    map[Job]int
 }
 
 // NewJournal opens a journal for runID. When path is non-empty the
@@ -207,6 +179,48 @@ func (j *Journal) Begin(sc Scale, jobs []Job) {
 		Total: len(jobs), Scale: &scale})
 }
 
+// BeginAdaptive records an adaptive run's expansion: Total counts
+// cells (not waves — wave counts are not known up front, that is the
+// point), the normalized precision block rides on the expanded event,
+// and subsequent cell-scoped events are re-indexed from whatever job
+// index the emitter used (the board numbers waves) to the cell's
+// expansion index via its wave-invariant template.
+func (j *Journal) BeginAdaptive(sc Scale, cells []Job, prec Precision) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.total = len(cells)
+	j.scale = sc
+	j.adaptive = true
+	j.cells = make(map[Job]int, len(cells))
+	for i, c := range cells {
+		j.cells[cellTemplate(c)] = i
+	}
+	scale := sc
+	p := prec
+	j.emitLocked(Event{Type: EventExpanded, Run: j.runID, Cell: -1,
+		Total: len(cells), Scale: &scale, Precision: &p})
+}
+
+// cellOfLocked maps an emitter's job index to the journal's cell
+// index: the identity for fixed-batch runs, the cell-template lookup
+// for adaptive runs (where the board hands out wave jobs whose board
+// indices mean nothing cell-wise).
+func (j *Journal) cellOfLocked(idx int, job Job) int {
+	if !j.adaptive {
+		return idx
+	}
+	if c, ok := j.cells[cellTemplate(job)]; ok {
+		return c
+	}
+	return idx
+}
+
 // Leased records a lease grant; an Attempt above 1 additionally emits
 // EventReassigned — the board is retrying a cell whose earlier attempt
 // failed or expired.
@@ -219,12 +233,13 @@ func (j *Journal) Leased(idx int, job Job, worker string, attempt int) {
 	if j.closed {
 		return
 	}
+	idx = j.cellOfLocked(idx, job)
 	if attempt > 1 {
 		j.emitLocked(Event{Type: EventReassigned, Cell: idx, Key: job.Key(),
-			Worker: worker, Attempt: attempt})
+			Worker: worker, Attempt: attempt, Wave: job.Knobs.Wave})
 	}
 	j.emitLocked(Event{Type: EventLeased, Cell: idx, Key: job.Key(),
-		Worker: worker, Attempt: attempt})
+		Worker: worker, Attempt: attempt, Wave: job.Knobs.Wave})
 }
 
 // Started records a cell beginning simulation.
@@ -237,8 +252,8 @@ func (j *Journal) Started(idx int, job Job, worker string, attempt int) {
 	if j.closed {
 		return
 	}
-	j.emitLocked(Event{Type: EventStarted, Cell: idx, Key: job.Key(),
-		Worker: worker, Attempt: attempt})
+	j.emitLocked(Event{Type: EventStarted, Cell: j.cellOfLocked(idx, job), Key: job.Key(),
+		Worker: worker, Attempt: attempt, Wave: job.Knobs.Wave})
 }
 
 // HeartbeatMissed records a lease reaped after missed heartbeats.
@@ -251,8 +266,8 @@ func (j *Journal) HeartbeatMissed(idx int, job Job, worker string, attempt int) 
 	if j.closed {
 		return
 	}
-	j.emitLocked(Event{Type: EventHeartbeatMissed, Cell: idx, Key: job.Key(),
-		Worker: worker, Attempt: attempt})
+	j.emitLocked(Event{Type: EventHeartbeatMissed, Cell: j.cellOfLocked(idx, job), Key: job.Key(),
+		Worker: worker, Attempt: attempt, Wave: job.Knobs.Wave})
 }
 
 // CellFailed records one failed attempt (the cell may be retried; a
@@ -266,8 +281,62 @@ func (j *Journal) CellFailed(idx int, job Job, worker string, attempt int, errMs
 	if j.closed {
 		return
 	}
-	j.emitLocked(Event{Type: EventFailed, Cell: idx, Key: job.Key(),
-		Worker: worker, Attempt: attempt, Error: errMsg})
+	j.emitLocked(Event{Type: EventFailed, Cell: j.cellOfLocked(idx, job), Key: job.Key(),
+		Worker: worker, Attempt: attempt, Error: errMsg, Wave: job.Knobs.Wave})
+}
+
+// WaveScheduled records the sequential-stopping planner putting one
+// wave of an adaptive cell on the schedule; half is the cell's Wilson
+// half-width going into the wave (1 before any trials ran — no data,
+// widest possible interval).
+func (j *Journal) WaveScheduled(job Job, half float64) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.emitLocked(Event{Type: EventWaveScheduled, Cell: j.cellOfLocked(-1, job), Key: job.Key(),
+		Wave: job.Knobs.Wave, Trials: job.Knobs.ReliaTrials, HalfWidth: half})
+}
+
+// CellRetired records an adaptive cell leaving the schedule after
+// trials total trials with final half-width half; capped marks a cell
+// that hit MaxTrials instead of its target.
+func (j *Journal) CellRetired(job Job, trials int, half float64, capped bool) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.emitLocked(Event{Type: EventCellRetired, Cell: j.cellOfLocked(-1, job), Key: job.Key(),
+		Trials: trials, HalfWidth: half, Capped: capped})
+}
+
+// CellMerged feeds the merged prefix of an adaptive run: one call per
+// retired cell with the cell's template job and wave-merged metrics
+// (hit reports whether every wave came from the cache). The same
+// exactly-once, expansion-order staging as fixed-batch CellDone.
+func (j *Journal) CellMerged(job Job, m core.Metrics, hit bool) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	idx := j.cellOfLocked(-1, job)
+	if idx < j.next || idx < 0 || j.staged[idx] != nil {
+		return
+	}
+	j.staged[idx] = &stagedCell{job: job, m: m, hit: hit}
+	j.mergeReadyLocked()
 }
 
 // CellDone records a cell's result landing (EventCacheHit for cache
@@ -283,7 +352,26 @@ func (j *Journal) CellDone(idx int, job Job, m core.Metrics, hit bool, worker st
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.closed || idx < j.next || j.staged[idx] != nil {
+	if j.closed {
+		return
+	}
+	if j.adaptive {
+		// Adaptive runs complete many waves per cell: record each one
+		// (the board already deduplicates deliveries per wave job), but
+		// leave the merged prefix to CellMerged — a cell merges once,
+		// when it retires with its wave-merged aggregate.
+		cell := j.cellOfLocked(idx, job)
+		if hit {
+			j.emitLocked(Event{Type: EventCacheHit, Cell: cell, Key: job.Key(), Hit: true,
+				Wave: job.Knobs.Wave})
+		} else {
+			j.emitLocked(Event{Type: EventCompleted, Cell: cell, Key: job.Key(),
+				Worker: worker, Attempt: attempt, WallMS: wall.Milliseconds(),
+				Wave: job.Knobs.Wave})
+		}
+		return
+	}
+	if idx < j.next || j.staged[idx] != nil {
 		return
 	}
 	if hit {
@@ -293,6 +381,14 @@ func (j *Journal) CellDone(idx int, job Job, m core.Metrics, hit bool, worker st
 			Worker: worker, Attempt: attempt, WallMS: wall.Milliseconds()})
 	}
 	j.staged[idx] = &stagedCell{job: job, m: m, hit: hit, worker: worker, wall: wall}
+	j.mergeReadyLocked()
+}
+
+// mergeReadyLocked emits EventMerged for every staged cell that is
+// now contiguous from the front of the expansion order. An adaptive
+// cell's merged aggregate never simulated as one job, so it carries
+// no fingerprint — no single cache entry corresponds to it.
+func (j *Journal) mergeReadyLocked() {
 	for {
 		st := j.staged[j.next]
 		if st == nil {
@@ -300,9 +396,13 @@ func (j *Journal) CellDone(idx int, job Job, m core.Metrics, hit bool, worker st
 		}
 		delete(j.staged, j.next)
 		jb, mt := st.job, st.m
+		fp := ""
+		if !j.adaptive {
+			fp = jb.Fingerprint(j.scale)
+		}
 		j.emitLocked(Event{Type: EventMerged, Cell: j.next, Key: jb.Key(),
 			Worker: st.worker, WallMS: st.wall.Milliseconds(), Hit: st.hit,
-			Fp: jb.Fingerprint(j.scale), Job: &jb, Metrics: &mt})
+			Fp: fp, Job: &jb, Metrics: &mt})
 		j.next++
 	}
 }

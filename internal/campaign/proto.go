@@ -5,7 +5,7 @@ import (
 	"net"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/api"
 	"repro/internal/sim"
 )
 
@@ -33,7 +33,13 @@ import (
 // *compatible wire formats* around *incompatible simulators* still
 // refuse to mix — a silent mix would break the byte-identical
 // determinism guarantee of sharded campaigns.
-const protoVersion = 1
+//
+// v2: the wire bodies are the typed internal/api structs, wave jobs
+// (Knobs.Wave/TrialOffset) exist on the wire, and the worker's attach
+// endpoint is canonically POST /v1/attach (the unversioned path stays
+// as a deprecated alias). A v1 peer would run wave jobs as plain
+// batches — silently wrong trials — so mixed fleets are refused.
+const protoVersion = 2
 
 // protocolCheck is the compatibility token exchanged at attach and
 // lease time.
@@ -73,64 +79,18 @@ func splitCheck(c string) (proto, spec, digest string, ok bool) {
 	return parts[0][1:], parts[1][1:], parts[2], true
 }
 
-// attachRequest invites a worker to start pulling jobs from a board.
-type attachRequest struct {
-	// Coordinator is the base URL of the board to pull from.
-	Coordinator string `json:"coordinator"`
-	// Check is the coordinator's protocolCheck(); the worker refuses
-	// the attachment unless it matches its own.
-	Check string `json:"check"`
-}
-
-// attachResponse acknowledges an attachment.
-type attachResponse struct {
-	Worker   string `json:"worker"`
-	Capacity int    `json:"capacity"`
-	Check    string `json:"check"`
-}
-
-// leaseRequest asks the board for one job.
-type leaseRequest struct {
-	Worker string `json:"worker"`
-	Check  string `json:"check"`
-}
-
-// leaseResponse hands a worker one job under a lease. SimSeed and
-// Fingerprint are the coordinator's derivations; the worker recomputes
-// both and refuses the job on mismatch, so a seed-derivation or
-// fingerprint skew between builds surfaces as an explicit error
-// instead of a silently divergent (and wrongly cached) simulation.
-type leaseResponse struct {
-	LeaseID     string `json:"lease_id"`
-	Job         Job    `json:"job"`
-	Scale       Scale  `json:"scale"`
-	SimSeed     uint64 `json:"sim_seed"`
-	Fingerprint string `json:"fingerprint"`
-	TTLMS       int64  `json:"ttl_ms"`
-}
-
-// heartbeatRequest extends a lease while its job simulates.
-type heartbeatRequest struct {
-	LeaseID string `json:"lease_id"`
-}
-
-// completeRequest returns a finished job: the canonical core.Metrics
-// payload (the same JSON the content-addressed cache stores) plus the
-// job's cache key, or an error. Exactly one of Metrics/Error is set.
-type completeRequest struct {
-	LeaseID     string        `json:"lease_id"`
-	Worker      string        `json:"worker"`
-	Fingerprint string        `json:"fingerprint"`
-	Metrics     *core.Metrics `json:"metrics,omitempty"`
-	Error       string        `json:"error,omitempty"`
-}
-
-// boardStatus is the terminal payload of 410 responses: why the board
-// is over, so workers can log something actionable.
-type boardStatus struct {
-	Done  bool   `json:"done"`
-	Error string `json:"error,omitempty"`
-}
+// The wire bodies are the exported internal/api types; the aliases
+// keep the board/worker implementation reading naturally while the
+// api package owns the single definition every process serializes.
+type (
+	attachRequest    = api.AttachRequest
+	attachResponse   = api.AttachResponse
+	leaseRequest     = api.LeaseRequest
+	leaseResponse    = api.LeaseResponse
+	heartbeatRequest = api.HeartbeatRequest
+	completeRequest  = api.CompleteRequest
+	boardStatus      = api.BoardStatus
+)
 
 // NormalizeWorkerURL turns a -workers flag element (host:port or a
 // full URL) into a worker base URL.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/mode"
 	"repro/internal/workload"
@@ -122,6 +123,17 @@ var builders = map[string]func(workloads []string, seeds []uint64) Spec{
 		// workloads x fault rates, each cell a batch of derived-seed
 		// trials classified by internal/relia.
 		return Spec{Name: "relia", Jobs: ReliaJobs(wls, seeds, nil, 0)}
+	},
+	"relia-adaptive": func(wls []string, seeds []uint64) Spec {
+		// The sequential-stopping variant of "relia": the same cells,
+		// but trials are scheduled in waves until each cell's 95%
+		// Wilson interval on coverage is within ±5 points (a submit
+		// may override the precision block). See Spec.Precision.
+		return Spec{
+			Name:      "relia-adaptive",
+			Jobs:      ReliaJobs(wls, seeds, nil, 0),
+			Precision: &Precision{HalfWidth: 0.05},
+		}
 	},
 	"policy": func(wls []string, seeds []uint64) Spec {
 		// The mode-policy design study: the consolidated mixed-mode
@@ -284,19 +296,9 @@ func Names() []string {
 
 // Axes describes a registered campaign's sweep dimensions under its
 // default axes, so operators can discover what a campaign runs without
-// reading source (served by mmmd's catalog endpoint).
-type Axes struct {
-	Name      string   `json:"name"`
-	Kinds     []string `json:"kinds"`
-	Workloads []string `json:"workloads"`
-	Variants  []string `json:"variants,omitempty"`
-	// Policies lists the distinct mode policies the campaign's default
-	// expansion sweeps ("static" stands for the default cells).
-	Policies    []string `json:"policies,omitempty"`
-	Seeds       []uint64 `json:"seeds"`
-	Jobs        int      `json:"jobs"`
-	Reliability bool     `json:"reliability,omitempty"`
-}
+// reading source (served by mmmd's catalog endpoint). The type lives
+// in internal/api — it crosses the wire in the catalog body.
+type Axes = api.Axes
 
 // Catalog expands every registered campaign under its default axes and
 // summarizes the distinct values of each dimension, in sorted order.
@@ -313,6 +315,10 @@ func Catalog() []Axes {
 			continue
 		}
 		ax := Axes{Name: name, Jobs: len(jobs)}
+		if spec.Precision != nil {
+			p := spec.Precision.Normalized()
+			ax.Precision = &p
+		}
 		kinds := map[string]bool{}
 		wls := map[string]bool{}
 		variants := map[string]bool{}

@@ -1,6 +1,9 @@
 package campaign
 
-import "context"
+import (
+	"context"
+	"fmt"
+)
 
 // Runner executes an expanded job set at a scale and returns the
 // ordered result set. It is the seam between campaign *definition*
@@ -19,8 +22,37 @@ type Runner interface {
 	Run(ctx context.Context, sc Scale, jobs []Job) (*ResultSet, error)
 }
 
+// SpecRunner additionally executes whole campaign specs. The
+// distinction matters for adaptive-precision campaigns: their job set
+// is not known up front (the Precision block drives sequential
+// stopping), so they cannot travel through Run's expanded-jobs
+// contract. A SpecRunner's RunSpec must behave exactly like Run for
+// specs without a Precision block.
+type SpecRunner interface {
+	Runner
+	RunSpec(ctx context.Context, sc Scale, spec Spec) (*ResultSet, error)
+}
+
 // Engine and Dispatcher are the two interchangeable executors.
 var (
-	_ Runner = (*Engine)(nil)
-	_ Runner = (*Dispatcher)(nil)
+	_ SpecRunner = (*Engine)(nil)
+	_ SpecRunner = (*Dispatcher)(nil)
 )
+
+// RunSpec executes a campaign spec on any Runner: fixed-batch specs
+// expand and run through the plain Runner contract (so custom Runner
+// implementations keep working), adaptive specs are routed to the
+// runner's RunSpec.
+func RunSpec(ctx context.Context, r Runner, sc Scale, spec Spec) (*ResultSet, error) {
+	if sr, ok := r.(SpecRunner); ok {
+		return sr.RunSpec(ctx, sc, spec)
+	}
+	if spec.Precision == nil {
+		jobs, err := spec.Expand()
+		if err != nil {
+			return nil, err
+		}
+		return r.Run(ctx, sc, jobs)
+	}
+	return nil, fmt.Errorf("campaign: runner %T cannot run adaptive-precision campaigns", r)
+}

@@ -8,99 +8,30 @@
 package campaign
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/mode"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
-// SpecVersion is folded into every job fingerprint. Bump it whenever
-// the simulator's semantics change in a way that invalidates previously
-// cached metrics.
-//
-// v2: Reunion fingerprints cover memory access addresses, persistent
-// divergences escalate to machine checks, and reliability (Monte
-// Carlo trial batch) jobs exist.
-//
-// v3: Metrics.FaultsInjected is rebased at ResetMeasurement and now
-// counts only measurement-window injections; cached v2 metrics for
-// fault-injection cells include warmup faults and are invalid.
-//
-// v4: the runtime mode-policy axis exists (Knobs.Policy, folded into
-// the fingerprint). Static-policy results are byte-identical to v3 —
-// the golden-row regression pins that — but the fingerprint input
-// set changed, so cached v3 entries are re-keyed, not reinterpreted.
-const SpecVersion = 4
+// The job-identity vocabulary — Scale, Knobs, Job and the fingerprint
+// derivation, plus the adaptive Precision block — lives in
+// internal/api (it crosses the wire: the lease protocol and the mmmd
+// bodies carry it verbatim). The aliases keep campaign the natural
+// import for execution-side callers; api.SpecVersion is the cache
+// generation and bumps under the same discipline as before the move.
+type (
+	Scale     = api.Scale
+	Knobs     = api.Knobs
+	Job       = api.Job
+	Precision = api.Precision
+)
 
-// Scale sets the simulation windows shared by every job of a campaign.
-type Scale struct {
-	Warmup    sim.Cycle `json:"warmup"`
-	Measure   sim.Cycle `json:"measure"`
-	Timeslice sim.Cycle `json:"timeslice"`
-}
-
-// Knobs is the declarative form of the sim.Config mutations the
-// evaluation sweeps over. Unlike a closure, a Knobs value is part of a
-// job's identity: it canonicalizes into the cache fingerprint, so two
-// jobs differing only in a knob never collide. The annotation below is
-// enforced by mmmlint's knobcover analyzer: every field added here
-// must be folded into Fingerprint/Key/SimSeed (with a SpecVersion
-// bump) or carry an explicit //mmm:knobcover-exempt reason, so a knob
-// outside the fingerprint — the silent cache-poisoning failure mode —
-// is a build error, not a code-review hope.
-//
-//mmm:knobcover Fingerprint,Key,SimSeed
-type Knobs struct {
-	// PABSerial selects the serial 2-cycle PAB lookup (Section 5.2).
-	PABSerial bool `json:"pab_serial,omitempty"`
-	// PABDisabled turns PAB enforcement off (fault-injection ablation).
-	PABDisabled bool `json:"pab_disabled,omitempty"`
-	// TSO selects total-store-order instead of the paper's SC.
-	TSO bool `json:"tso,omitempty"`
-	// FlushPerCycle overrides the Leave-DMR flush rate when positive.
-	FlushPerCycle int `json:"flush_per_cycle,omitempty"`
-	// FaultInterval, when positive, injects faults with this mean
-	// spacing in cycles.
-	FaultInterval float64 `json:"fault_interval,omitempty"`
-	// FaultKinds restricts injected manifestations to a comma-joined
-	// list of canonical kind names ("result-flip,tlb-flip"); empty
-	// injects all kinds. A string (not a slice) so Job stays
-	// comparable and deduplicable.
-	FaultKinds string `json:"fault_kinds,omitempty"`
-	// ReliaTrials, when positive, turns the job into a reliability
-	// evaluation batch: that many Monte Carlo fault-injection trials
-	// run and the result carries an outcome taxonomy instead of
-	// performance buckets (see internal/relia).
-	ReliaTrials int `json:"relia_trials,omitempty"`
-	// ForcePAB guards performance-mode stores with the PAB on system
-	// kinds that do not enable it by default (the pure
-	// performance-mode protection scenario).
-	ForcePAB bool `json:"force_pab,omitempty"`
-	// Policy names the runtime mode policy (internal/mode) deciding
-	// when core pairs couple into DMR and decouple back to performance
-	// mode: "" or "static" for the kind's pre-built behavior, or a
-	// dynamic policy spec such as "utilization", "duty-cycle:60000:25"
-	// or "fault-escalation". Expand canonicalizes and validates it.
-	Policy string `json:"policy,omitempty"`
-}
-
-// apply mutates a sim.Config according to the knobs. PABDisabled and
-// FaultInterval act at the core.Options level, not here.
-func (k Knobs) apply(cfg *sim.Config) {
-	if k.PABSerial {
-		cfg.PABSerial = true
-	}
-	if k.TSO {
-		cfg.TSO = true
-	}
-	if k.FlushPerCycle > 0 {
-		cfg.FlushPerCycle = k.FlushPerCycle
-	}
-}
+// SpecVersion is folded into every job fingerprint; see
+// api.SpecVersion for the generation history.
+const SpecVersion = api.SpecVersion
 
 // Variant names one point of a non-axis sweep dimension (e.g. the
 // serial-vs-parallel PAB lookup). The empty Variant{} is the default
@@ -108,64 +39,6 @@ func (k Knobs) apply(cfg *sim.Config) {
 type Variant struct {
 	Name  string `json:"name"`
 	Knobs Knobs  `json:"knobs"`
-}
-
-// Job is one fully specified simulation: a cell of the sweep
-// cross-product. Jobs are pure data so they can be expanded, hashed,
-// cached and distributed. Like Knobs, the field set is under knobcover
-// coverage: every field must reach the fingerprint/key/seed
-// derivation.
-//
-//mmm:knobcover Fingerprint,Key,SimSeed
-type Job struct {
-	Workload string    `json:"workload"`
-	Kind     core.Kind `json:"kind"`
-	Seed     uint64    `json:"seed"`
-	Variant  string    `json:"variant,omitempty"`
-	Knobs    Knobs     `json:"knobs"`
-}
-
-// Key is the aggregation key of the job's cell: runs differing only in
-// seed share a key and fold into one stats.Sample. A non-default mode
-// policy is its own key segment, so a policy sweep's cells never fold
-// into the static baseline's.
-func (j Job) Key() string {
-	k := fmt.Sprintf("%s/%s", j.Workload, j.Kind)
-	if j.Variant != "" {
-		k += "/" + j.Variant
-	}
-	if j.Knobs.Policy != "" {
-		k += "/pol=" + j.Knobs.Policy
-	}
-	return k
-}
-
-// SimSeed derives the seed handed to the simulator. Mixing the cell
-// labels in decorrelates the random streams of different cells that
-// declare the same seed, and is stable across processes, so cached
-// results remain valid. The policy label is folded in only when set,
-// so every pre-policy cell keeps its historical stream.
-func (j Job) SimSeed() uint64 {
-	if j.Knobs.Policy != "" {
-		return sim.DeriveSeed(j.Seed, j.Workload, j.Kind.String(), j.Variant, j.Knobs.Policy)
-	}
-	return sim.DeriveSeed(j.Seed, j.Workload, j.Kind.String(), j.Variant)
-}
-
-// Fingerprint is the content address of the job's result: a SHA-256
-// over the canonical rendering of (SpecVersion, scale, every job
-// parameter). Equal fingerprints mean byte-identical simulations.
-func (j Job) Fingerprint(sc Scale) string {
-	h := sha256.New()
-	fmt.Fprintf(h,
-		"v%d|warm=%d|meas=%d|slice=%d|wl=%s|kind=%s|seed=%d|var=%s|pabser=%t|pabdis=%t|tso=%t|flush=%d|fault=%g|fkinds=%s|rtrials=%d|fpab=%t|policy=%s",
-		SpecVersion, sc.Warmup, sc.Measure, sc.Timeslice,
-		j.Workload, j.Kind, j.Seed, j.Variant,
-		j.Knobs.PABSerial, j.Knobs.PABDisabled, j.Knobs.TSO,
-		j.Knobs.FlushPerCycle, j.Knobs.FaultInterval,
-		j.Knobs.FaultKinds, j.Knobs.ReliaTrials, j.Knobs.ForcePAB,
-		j.Knobs.Policy)
-	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Spec declares a sweep: the cross-product of kinds x workloads x
@@ -187,6 +60,12 @@ type Spec struct {
 	// Jobs, when non-empty, bypasses the cross-product and is used
 	// verbatim (still validated and deduplicated by Expand).
 	Jobs []Job `json:"jobs,omitempty"`
+	// Precision, when set, makes the campaign adaptive: Expand's jobs
+	// become cells whose reliability trials the engine/dispatcher
+	// schedules in waves under the sequential stopping rule instead of
+	// one fixed batch per cell. Every cell must be a reliability cell
+	// (Knobs.FaultInterval > 0). Run such specs through RunSpec.
+	Precision *Precision `json:"precision,omitempty"`
 }
 
 // Expand produces the deterministic job set of the spec: the same spec

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/cache"
 	"repro/internal/core"
 )
@@ -96,14 +97,24 @@ func NewWorker(opts WorkerOptions) *Worker {
 	}
 }
 
-// Handler routes the worker's coordinator-facing endpoints.
+// Handler routes the worker's coordinator-facing endpoints. Attach is
+// canonical under /v1 (protoVersion 2 coordinators post there); the
+// unversioned spelling stays as a deprecated alias for by-hand
+// attachment and old scripts. The board's own lease endpoints are not
+// versioned this way — they are ephemeral per-campaign internals,
+// guarded by the protocol check token instead.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		writeJSONTo(rw, http.StatusOK, map[string]string{"status": "ok", "worker": w.opts.Name})
 	})
 	mux.HandleFunc("GET /status", w.handleStatus)
-	mux.HandleFunc("POST /attach", w.handleAttach)
+	mux.HandleFunc("POST "+api.PathPrefix+"/attach", w.handleAttach)
+	mux.HandleFunc("POST /attach", func(rw http.ResponseWriter, req *http.Request) {
+		rw.Header().Set(api.DeprecationHeader, "true")
+		rw.Header().Set("Link", fmt.Sprintf("<%s/attach>; rel=%q", api.PathPrefix, api.SuccessorRel))
+		w.handleAttach(rw, req)
+	})
 	return mux
 }
 

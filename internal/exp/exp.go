@@ -48,6 +48,21 @@ type Config struct {
 	// The Runner contract guarantees the tables come out
 	// byte-identical either way.
 	Runner campaign.Runner
+
+	// Precision, when non-nil, switches the reliability study to
+	// sequential stopping: each cell's trials are scheduled in waves
+	// until its 95% Wilson interval on coverage is within the target
+	// half-width (or the cell hits its trial cap). Experiments that
+	// inject no faults ignore it.
+	Precision *campaign.Precision
+
+	// ReliaTrials overrides the fixed per-cell trial count of the
+	// reliability study (0 = the registered default). It is how a
+	// fixed-batch run is sized to the same worst-case budget an
+	// adaptive run stops within — the nightly fixed-vs-adaptive
+	// comparison. Ignored when Precision is set: adaptive cells get
+	// their trial counts from the stopping rule.
+	ReliaTrials int
 }
 
 // fromScale builds a Config from a campaign preset, so mmmbench and
@@ -105,6 +120,18 @@ func (c Config) runSet(jobs []campaign.Job) (*campaign.ResultSet, error) {
 		r = campaign.New(campaign.Options{Parallel: c.Parallel, Cache: c.Cache})
 	}
 	return r.Run(context.Background(), c.Scale(), jobs)
+}
+
+// runSpec executes a whole spec on the configured runner through
+// campaign.RunSpec, which routes adaptive-precision specs to the
+// sequential-stopping scheduler and everything else through the fixed
+// path runSet uses.
+func (c Config) runSpec(spec campaign.Spec) (*campaign.ResultSet, error) {
+	r := c.Runner
+	if r == nil {
+		r = campaign.New(campaign.Options{Parallel: c.Parallel, Cache: c.Cache})
+	}
+	return campaign.RunSpec(context.Background(), r, c.Scale(), spec)
 }
 
 // named expands the registered campaign spec under this config's axes

@@ -19,6 +19,10 @@ type ReliaRow struct {
 	Rate float64
 	// Faults is the number of successfully injected faults classified.
 	Faults uint64
+	// Trials is the number of Monte Carlo trial slices behind the row —
+	// fixed-batch runs schedule the same count for every cell, adaptive
+	// runs stop each cell as soon as its interval meets the target.
+	Trials int
 	// ResultCov / TLBCov are the per-kind coverage proportions with
 	// their 95% Wilson bounds.
 	ResultCov, ResultLo, ResultHi float64
@@ -42,10 +46,23 @@ type ReliaRow struct {
 // performance-mode result flips surface as SDC — and merges each
 // (mode, rate) cell across workloads and seeds.
 func ReliabilityStudy(c Config) ([]ReliaRow, error) {
-	res, err := c.named("relia")
+	spec, err := campaign.Named("relia", c.workloads(), c.Seeds)
 	if err != nil {
 		return nil, err
 	}
+	if c.Precision != nil {
+		p := *c.Precision
+		spec.Precision = &p
+	} else if c.ReliaTrials > 0 {
+		for i := range spec.Jobs {
+			spec.Jobs[i].Knobs.ReliaTrials = c.ReliaTrials
+		}
+	}
+	rs, err := c.runSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	res := rs.ByKey()
 	rates := campaign.DefaultFaultRates()
 	var rows []ReliaRow
 	for _, rm := range campaign.ReliaModes() {
@@ -68,7 +85,8 @@ func ReliabilityStudy(c Config) ([]ReliaRow, error) {
 			if merged == nil {
 				continue
 			}
-			row := ReliaRow{Mode: rm.Name, Rate: rate, Faults: relia.TotalInjected(merged)}
+			row := ReliaRow{Mode: rm.Name, Rate: rate,
+				Faults: relia.TotalInjected(merged), Trials: merged.Trials}
 			cov, exposed := relia.Coverage(merged, "result-flip")
 			row.ResultCov = stats.Ratio(float64(cov), float64(exposed))
 			row.ResultLo, row.ResultHi = stats.Wilson(cov, exposed)
@@ -103,7 +121,7 @@ func ReliabilityTable(rows []ReliaRow) *stats.Table {
 	t := &stats.Table{
 		Title: "Reliability: Monte Carlo fault-campaign outcomes by protection mode",
 		Columns: []string{
-			"mode", "rate(cyc)", "faults",
+			"mode", "rate(cyc)", "trials", "faults",
 			"result cov [95% CI]", "tlb cov [95% CI]",
 			"prevented", "verify", "SDC", "DUE", "masked",
 			"p95 lat", "FIT(SDC)", "MTTF(h)",
@@ -118,6 +136,7 @@ func ReliabilityTable(rows []ReliaRow) *stats.Table {
 		}
 		t.AddRow(r.Mode,
 			fmt.Sprintf("%.0f", r.Rate),
+			fmt.Sprintf("%d", r.Trials),
 			fmt.Sprintf("%d", r.Faults),
 			fmt.Sprintf("%.3f [%.3f,%.3f]", r.ResultCov, r.ResultLo, r.ResultHi),
 			fmt.Sprintf("%.3f [%.3f,%.3f]", r.TLBCov, r.TLBLo, r.TLBHi),

@@ -105,7 +105,10 @@ func Rows(key string, b *core.ReliaBatch, rates RateModel) []stats.Row {
 		}
 		return stats.Row{
 			Key: key, Metric: metric, N: int(den),
-			Mean: mean, CI95: (hi - lo) / 2, Min: lo, Max: hi,
+			// WilsonHalfWidth is the same (hi-lo)/2 the adaptive stopping
+			// rule targets, so a report column and a precision target are
+			// always the one definition.
+			Mean: mean, CI95: stats.WilsonHalfWidth(num, den), Min: lo, Max: hi,
 		}
 	}
 

@@ -123,7 +123,16 @@ func RunTrial(spec TrialSpec) (TrialResult, error) {
 // Trial.Seed is the batch base seed; each trial derives its own.
 type BatchSpec struct {
 	Trials int
-	Trial  TrialSpec
+	// FirstTrial is the global index of the batch's first trial within
+	// its cell. Trial seeds and the log digest use the global index
+	// (FirstTrial + t), so splitting one cell's trials across several
+	// batches — the adaptive campaigns' wave-shaped increments — runs
+	// exactly the trials a single batch of the same total would:
+	// MergeBatches over the segments equals the one-batch aggregate.
+	// Zero (the whole cell in one batch) reproduces the historical
+	// byte-identical behavior.
+	FirstTrial int
+	Trial      TrialSpec
 }
 
 // TrialWindows derives the per-trial simulation windows from a
@@ -177,11 +186,15 @@ func RunBatch(spec BatchSpec) (core.ReliaBatch, error) {
 	}
 	h := sha256.New()
 	for t := 0; t < spec.Trials; t++ {
+		// The global trial index: seed derivation and the digest lines
+		// are keyed on it, never on the batch-local t, so a wave batch
+		// at FirstTrial=k runs trial k of the cell bit-for-bit.
+		g := spec.FirstTrial + t
 		ts := spec.Trial
-		ts.Seed = sim.DeriveSeed(spec.Trial.Seed, "relia-trial", strconv.Itoa(t))
+		ts.Seed = sim.DeriveSeed(spec.Trial.Seed, "relia-trial", strconv.Itoa(g))
 		spec.Trial.Recorder.Emit(obs.Event{
 			Kind: obs.KindMark, Pair: -1, Core: -1,
-			Cause: "trial-start", Arg: int64(t),
+			Cause: "trial-start", Arg: int64(g),
 		})
 		res, err := RunTrial(ts)
 		if err != nil {
@@ -189,7 +202,7 @@ func RunBatch(spec BatchSpec) (core.ReliaBatch, error) {
 		}
 		for _, in := range res.Log {
 			fmt.Fprintf(h, "%d|%d|%s|%d|%d|%t|%d\n",
-				t, in.Seq, in.Kind, in.Core, in.Cycle, in.Hit, in.VCPU)
+				g, in.Seq, in.Kind, in.Core, in.Cycle, in.Hit, in.VCPU)
 		}
 		batch.Misses += res.Misses
 		for _, rec := range res.Records {

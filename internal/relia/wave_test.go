@@ -1,0 +1,97 @@
+package relia
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// waveTrialSpec is a small fault-injection configuration shared by the
+// wave-splitting tests.
+func waveTrialSpec(t *testing.T) TrialSpec {
+	t.Helper()
+	return TrialSpec{
+		Kind: core.KindMMMIPC, Workload: wl(t, "apache"), Seed: 11,
+		MeanInterval: 8_000,
+		Warmup:       15_000, Measure: 45_000, Timeslice: 15_000,
+	}
+}
+
+// TestWaveSplitEqualsSingleBatch is the adaptive campaigns' merge
+// guarantee: one cell's trials split across wave-shaped batches at
+// FirstTrial offsets run exactly the trials a single batch of the same
+// total runs, so MergeBatches over the segments equals the one-batch
+// aggregate. Only the per-batch log digest differs (it hashes each
+// batch's own log stream).
+func TestWaveSplitEqualsSingleBatch(t *testing.T) {
+	ts := waveTrialSpec(t)
+	const total = 6
+
+	whole, err := RunBatch(BatchSpec{Trials: total, Trial: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sizes := range [][]int{{2, 2, 2}, {1, 5}, {4, 2}, {3, 1, 2}} {
+		var parts []*core.ReliaBatch
+		off := 0
+		for _, n := range sizes {
+			b, err := RunBatch(BatchSpec{Trials: n, FirstTrial: off, Trial: ts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts = append(parts, &b)
+			off += n
+		}
+		merged := MergeBatches(parts)
+
+		a, b := whole, *merged
+		a.LogDigest, b.LogDigest = "", ""
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if !reflect.DeepEqual(aj, bj) {
+			t.Fatalf("split %v diverges from single batch:\nsplit: %s\nwhole: %s", sizes, bj, aj)
+		}
+	}
+}
+
+// TestWaveSplitDeterministicPerSegment: the same wave re-run is
+// byte-identical including its digest — the property the campaign
+// cache keys on — and distinct offsets produce distinct trials.
+func TestWaveSplitDeterministicPerSegment(t *testing.T) {
+	ts := waveTrialSpec(t)
+	one, err := RunBatch(BatchSpec{Trials: 2, FirstTrial: 2, Trial: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunBatch(BatchSpec{Trials: 2, FirstTrial: 2, Trial: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, again) {
+		t.Fatal("re-run wave diverged from itself")
+	}
+	other, err := RunBatch(BatchSpec{Trials: 2, FirstTrial: 4, Trial: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.LogDigest == other.LogDigest {
+		t.Fatal("different trial offsets produced the same log digest")
+	}
+
+	// FirstTrial zero is the historical single-batch behavior: a batch
+	// that declares it explicitly matches one that leaves it zero.
+	implicit, err := RunBatch(BatchSpec{Trials: 3, Trial: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := RunBatch(BatchSpec{Trials: 3, FirstTrial: 0, Trial: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(implicit, explicit) {
+		t.Fatal("FirstTrial=0 diverges from the implicit zero batch")
+	}
+}

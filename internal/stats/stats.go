@@ -171,7 +171,7 @@ func Wilson(k, n uint64) (lo, hi float64) {
 	if n == 0 {
 		return 0, 1
 	}
-	const z = 1.959963984540054 // two-tailed 95% normal quantile
+	const z = z95
 	nf := float64(n)
 	p := float64(k) / nf
 	z2 := z * z
@@ -187,6 +187,39 @@ func Wilson(k, n uint64) (lo, hi float64) {
 		hi = 1
 	}
 	return lo, hi
+}
+
+// z95 is the two-tailed 95% normal quantile shared by the Wilson
+// interval and the sequential-stopping budget arithmetic.
+const z95 = 1.959963984540054
+
+// WilsonHalfWidth returns half the width of the 95% Wilson interval
+// for num successes out of den trials — the precision figure the
+// adaptive stopping rule compares against its target. It is the one
+// definition of "half-width" in the tree: report columns and the
+// sequential-stopping rule must agree on it, so neither recomputes
+// (hi-lo)/2 by hand.
+func WilsonHalfWidth(num, den uint64) float64 {
+	lo, hi := Wilson(num, den)
+	return (hi - lo) / 2
+}
+
+// WorstCaseTrials returns the smallest trial count n at which the
+// 95% Wilson half-width is guaranteed to be at most half regardless
+// of the observed proportion. The interval is widest at p=0.5, where
+// the half-width is approximately z/(2*sqrt(n+z^2)); solving gives
+// n = z^2/(4*half^2) - z^2. This is the sample size a fixed-batch
+// design must provision to promise the same precision, and therefore
+// the baseline adaptive campaigns report their trial savings against.
+func WorstCaseTrials(half float64) uint64 {
+	if half <= 0 {
+		return 0
+	}
+	n := z95*z95/(4*half*half) - z95*z95
+	if n < 1 {
+		return 1
+	}
+	return uint64(math.Ceil(n))
 }
 
 // PercentileSorted returns the p-th percentile (0 < p <= 100) of an

@@ -197,3 +197,46 @@ func TestPercentileSorted(t *testing.T) {
 		}
 	}
 }
+
+func TestWilsonHalfWidth(t *testing.T) {
+	// The half-width is literally half the Wilson interval, symmetric
+	// in successes and failures (coverage and SDC stop identically).
+	for _, c := range []struct{ k, n uint64 }{{0, 10}, {5, 10}, {10, 10}, {3, 17}} {
+		lo, hi := Wilson(c.k, c.n)
+		if got := WilsonHalfWidth(c.k, c.n); got != (hi-lo)/2 {
+			t.Errorf("WilsonHalfWidth(%d,%d) = %v, want (hi-lo)/2 = %v", c.k, c.n, got, (hi-lo)/2)
+		}
+		if a, b := WilsonHalfWidth(c.k, c.n), WilsonHalfWidth(c.n-c.k, c.n); math.Abs(a-b) > 1e-12 {
+			t.Errorf("half-width not symmetric: p gives %v, 1-p gives %v", a, b)
+		}
+	}
+	// No data: the vacuous [0,1] interval, half-width 0.5 — an adaptive
+	// cell with no exposed faults never claims precision.
+	if got := WilsonHalfWidth(0, 0); got != 0.5 {
+		t.Fatalf("WilsonHalfWidth(0,0) = %v, want 0.5", got)
+	}
+	// Extreme proportions converge much faster than p=0.5 — the whole
+	// point of sequential stopping.
+	if WilsonHalfWidth(20, 20) >= WilsonHalfWidth(10, 20) {
+		t.Fatal("p=1 interval not tighter than p=0.5 at equal n")
+	}
+}
+
+func TestWorstCaseTrials(t *testing.T) {
+	for _, half := range []float64{0.2, 0.1, 0.05, 0.01} {
+		n := WorstCaseTrials(half)
+		// At the returned n, even the widest proportion meets the target...
+		if got := WilsonHalfWidth(n/2, n); got > half {
+			t.Errorf("WorstCaseTrials(%g) = %d but p=0.5 half-width is %v", half, n, got)
+		}
+		// ...and n is minimal: one fewer trial misses it.
+		if n > 1 {
+			if got := WilsonHalfWidth((n-1)/2, n-1); got <= half {
+				t.Errorf("WorstCaseTrials(%g) = %d not minimal: n-1 gives %v", half, n, got)
+			}
+		}
+	}
+	if WorstCaseTrials(0) != 0 {
+		t.Fatal("WorstCaseTrials(0) must be 0 (no finite sample reaches zero width)")
+	}
+}
