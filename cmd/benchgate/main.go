@@ -8,12 +8,14 @@
 // baseline from them.
 //
 //	go test -run=NONE -bench='BenchmarkHotPath$' -benchtime=1s -count=3 . | tee bench.txt
-//	benchgate -baseline BENCH_hotpath.json -bench bench.txt -tolerance 0.35 -out bench-fresh.json
+//	benchgate -baseline BENCH_hotpath.json -bench bench.txt -tolerance 0.20 -out bench-fresh.json
 //
-// The tolerance is deliberately generous: CI hardware is noisy and
-// slower than the recorded machine, so the gate only catches
-// order-of-magnitude mistakes (an accidentally quadratic hot path, a
-// lost fast path), not single-digit drift.
+// The tolerance still absorbs run-to-run noise — CI hardware is noisy
+// and slower than the recorded machine — but with per-cell medians and
+// each cell's coefficient of variation recorded next to them, a wide
+// spread is distinguishable from a shifted median, so the gate can
+// afford 20% (down from the original 35%): it catches a lost fast path
+// or an accidentally quadratic hot loop without tripping on jitter.
 //
 // With -update, benchgate instead *appends* a fresh baseline entry to
 // the file from the same bench output — per-kind medians become the
@@ -71,11 +73,20 @@ type baselineEntry struct {
 	CyclesPerSec map[string]baselineKind `json:"cycles_per_sec"`
 }
 
-// cellStat is the min/median/max of one workload×seed cell's samples.
+// cellStat is the min/median/max of one workload×seed cell's samples,
+// with the coefficient of variation (stddev/mean) quantifying the
+// run-to-run noise behind the median.
 type cellStat struct {
 	Median float64 `json:"median"`
 	Min    float64 `json:"min,omitempty"`
 	Max    float64 `json:"max,omitempty"`
+	CV     float64 `json:"cv,omitempty"`
+}
+
+// cellStatOf summarizes one cell's samples.
+func cellStatOf(samples []float64) cellStat {
+	lo, hi := spread(samples)
+	return cellStat{Median: median(samples), Min: lo, Max: hi, CV: cv(samples)}
 }
 
 type baselineKind struct {
@@ -173,6 +184,30 @@ func spread(samples []float64) (min, max float64) {
 	return min, max
 }
 
+// cv returns the coefficient of variation (population stddev divided by
+// mean) of the samples — the dimensionless noise figure recorded next
+// to every median. Zero for fewer than two samples or a non-positive
+// mean. Rounded to four decimals so baseline files stay readable.
+func cv(samples []float64) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	mean := sum / float64(len(samples))
+	if mean <= 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Round(math.Sqrt(ss/float64(len(samples)))/mean*1e4) / 1e4
+}
+
 // gateResult is the fresh-numbers artifact plus the verdict.
 type gateResult struct {
 	Benchmark   string              `json:"benchmark"`
@@ -189,6 +224,7 @@ type gateKind struct {
 	Median   float64   `json:"median"`
 	Min      float64   `json:"min"`
 	Max      float64   `json:"max"`
+	CV       float64   `json:"cv"`
 	Samples  []float64 `json:"samples"`
 	Baseline float64   `json:"baseline"`
 	Ratio    float64   `json:"ratio"`
@@ -228,7 +264,7 @@ func gate(baseline map[string]baselineKind, grouped map[string]map[string][]floa
 		}
 		med := median(ss)
 		lo, hi := spread(ss)
-		gk := gateKind{Median: med, Min: lo, Max: hi, Samples: ss,
+		gk := gateKind{Median: med, Min: lo, Max: hi, CV: cv(ss), Samples: ss,
 			Baseline: base.After, Cells: make(map[string]cellStat)}
 		if base.After > 0 {
 			gk.Ratio = med / base.After
@@ -239,9 +275,7 @@ func gate(baseline map[string]baselineKind, grouped map[string]map[string][]floa
 			}
 		}
 		for c, cs := range cells {
-			m := median(cs)
-			l, h := spread(cs)
-			gk.Cells[c] = cellStat{Median: m, Min: l, Max: h}
+			gk.Cells[c] = cellStatOf(cs)
 		}
 		// Baselines that record per-cell numbers gate each cell, so a
 		// regression confined to one workload or seed cannot hide behind
@@ -279,6 +313,7 @@ type updateKind struct {
 	After   float64             `json:"after"`
 	Min     float64             `json:"min,omitempty"`
 	Max     float64             `json:"max,omitempty"`
+	CV      float64             `json:"cv,omitempty"`
 	Speedup float64             `json:"speedup,omitempty"`
 	Cells   map[string]cellStat `json:"cells,omitempty"`
 }
@@ -303,12 +338,10 @@ func buildUpdateEntry(prev baselineEntry, grouped map[string]map[string][]float6
 			}
 		}
 		lo, hi := spread(ss)
-		uk := updateKind{After: median(ss), Min: lo, Max: hi,
+		uk := updateKind{After: median(ss), Min: lo, Max: hi, CV: cv(ss),
 			Cells: make(map[string]cellStat, len(cells))}
 		for c, cs := range cells {
-			m := median(cs)
-			l, h := spread(cs)
-			uk.Cells[c] = cellStat{Median: m, Min: l, Max: h}
+			uk.Cells[c] = cellStatOf(cs)
 		}
 		if base, ok := prev.CyclesPerSec[k]; ok && base.After > 0 {
 			uk.Before = base.After
@@ -350,7 +383,7 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_hotpath.json", "recorded baseline file")
 		benchPath    = flag.String("bench", "-", "go test -bench output ('-' = stdin)")
-		tolerance    = flag.Float64("tolerance", 0.35, "allowed fractional regression before failing")
+		tolerance    = flag.Float64("tolerance", 0.20, "allowed fractional regression before failing")
 		outPath      = flag.String("out", "", "write fresh numbers + verdict as JSON here")
 		update       = flag.Bool("update", false, "append a fresh baseline entry instead of gating")
 		pr           = flag.Int("pr", 0, "PR number recorded in the appended entry (-update)")
@@ -421,8 +454,8 @@ func main() {
 	sort.Strings(kinds)
 	for _, k := range kinds {
 		gk := res.Kinds[k]
-		fmt.Printf("benchgate: %-10s median %12.0f  [%.0f..%.0f]  baseline %12.0f  ratio %.2f\n",
-			k, gk.Median, gk.Min, gk.Max, gk.Baseline, gk.Ratio)
+		fmt.Printf("benchgate: %-10s median %12.0f  [%.0f..%.0f]  cv %.3f  baseline %12.0f  ratio %.2f\n",
+			k, gk.Median, gk.Min, gk.Max, gk.CV, gk.Baseline, gk.Ratio)
 		cells := make([]string, 0, len(gk.Cells))
 		for c := range gk.Cells {
 			cells = append(cells, c)
@@ -430,8 +463,8 @@ func main() {
 		sort.Strings(cells)
 		for _, c := range cells {
 			cs := gk.Cells[c]
-			fmt.Printf("benchgate:   %-20s median %12.0f  [%.0f..%.0f]\n",
-				c, cs.Median, cs.Min, cs.Max)
+			fmt.Printf("benchgate:   %-20s median %12.0f  [%.0f..%.0f]  cv %.3f\n",
+				c, cs.Median, cs.Min, cs.Max, cs.CV)
 		}
 	}
 	if len(res.Regressions) > 0 {

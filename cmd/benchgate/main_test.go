@@ -88,6 +88,75 @@ func TestSpread(t *testing.T) {
 	}
 }
 
+// TestCV: the coefficient of variation is population stddev over mean,
+// rounded to four decimals, and zero when it cannot be estimated (one
+// sample, constant samples, non-positive mean).
+func TestCV(t *testing.T) {
+	if got := cv([]float64{100}); got != 0 {
+		t.Errorf("cv of one sample = %v, want 0", got)
+	}
+	if got := cv([]float64{7, 7, 7}); got != 0 {
+		t.Errorf("cv of constant samples = %v, want 0", got)
+	}
+	// mean 100, deviations ±10 -> population stddev 10 -> cv 0.1
+	if got := cv([]float64{90, 110}); got != 0.1 {
+		t.Errorf("cv(90, 110) = %v, want 0.1", got)
+	}
+	if got := cv([]float64{0, 0}); got != 0 {
+		t.Errorf("cv of zero-mean samples = %v, want 0", got)
+	}
+	// Rounding: 900/1000/1100 -> stddev 81.65 -> cv 0.0816 (4 decimals).
+	if got := cv([]float64{900, 1000, 1100}); got != 0.0816 {
+		t.Errorf("cv(900,1000,1100) = %v, want 0.0816", got)
+	}
+}
+
+// TestGateFloorBoundary: the gate fails strictly below
+// baseline*(1-tolerance); a median exactly at the floor passes.
+func TestGateFloorBoundary(t *testing.T) {
+	baseline := map[string]baselineKind{"A": {After: 1000}}
+	at := map[string]map[string][]float64{"A": {primaryCell: {800}}}
+	if res := gate(baseline, at, 0.20); len(res.Regressions) != 0 {
+		t.Errorf("median exactly at the 20%% floor flagged: %v", res.Regressions)
+	}
+	below := map[string]map[string][]float64{"A": {primaryCell: {799}}}
+	if res := gate(baseline, below, 0.20); len(res.Regressions) != 1 {
+		t.Errorf("median below the floor not flagged: %v", res.Regressions)
+	}
+}
+
+// TestGateRecordsCV: the gate artifact and the appended baseline entry
+// both carry the coefficient of variation next to every median.
+func TestGateRecordsCV(t *testing.T) {
+	baseline := map[string]baselineKind{"A": {After: 100}}
+	fresh := map[string]map[string][]float64{"A": {
+		primaryCell: {90, 110},
+		"oltp/s12":  {90, 110},
+	}}
+	res := gate(baseline, fresh, 0.20)
+	if gk := res.Kinds["A"]; gk.CV != 0.1 {
+		t.Errorf("gate kind CV = %v, want 0.1", gk.CV)
+	}
+	if cs := res.Kinds["A"].Cells["oltp/s12"]; cs.CV != 0.1 {
+		t.Errorf("gate cell CV = %v, want 0.1", cs.CV)
+	}
+
+	raw, err := buildUpdateEntry(baselineEntry{}, fresh, 10, "2026-08-07", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entry struct {
+		CyclesPerSec map[string]updateKind `json:"cycles_per_sec"`
+	}
+	if err := json.Unmarshal(raw, &entry); err != nil {
+		t.Fatal(err)
+	}
+	uk := entry.CyclesPerSec["A"]
+	if uk.CV != 0.1 || uk.Cells[primaryCell].CV != 0.1 {
+		t.Errorf("update entry CV = %v / %v, want 0.1 / 0.1", uk.CV, uk.Cells[primaryCell].CV)
+	}
+}
+
 func TestGate(t *testing.T) {
 	samples, err := parseBench(strings.NewReader(benchFixture))
 	if err != nil {

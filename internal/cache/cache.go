@@ -57,12 +57,14 @@ type Line struct {
 
 // Cache is one set-associative cache array with LRU replacement.
 type Cache struct {
-	name     string
-	sets     int
-	ways     int
-	lineSize uint64
-	lines    []Line // sets*ways entries
-	tick     uint64
+	name      string
+	sets      int
+	ways      int
+	lineSize  uint64
+	lineShift uint   // log2(lineSize)
+	setMask   uint64 // sets-1
+	lines     []Line // sets*ways entries
+	tick      uint64
 
 	Hits   uint64
 	Misses uint64
@@ -79,12 +81,21 @@ func newCache(r *Recycler, name string, size, ways, lineSize int) *Cache {
 	if sets == 0 || sets&(sets-1) != 0 {
 		panic("cache: set count must be a positive power of two: " + name)
 	}
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		panic("cache: line size must be a positive power of two: " + name)
+	}
+	shift := uint(0)
+	for 1<<shift != lineSize {
+		shift++
+	}
 	return &Cache{
-		name:     name,
-		sets:     sets,
-		ways:     ways,
-		lineSize: uint64(lineSize),
-		lines:    r.get(sets * ways),
+		name:      name,
+		sets:      sets,
+		ways:      ways,
+		lineSize:  uint64(lineSize),
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		lines:     r.get(sets * ways),
 	}
 }
 
@@ -151,7 +162,7 @@ func (c *Cache) NumLines() int { return c.sets * c.ways }
 func (c *Cache) LineAddr(pa uint64) uint64 { return pa &^ (c.lineSize - 1) }
 
 func (c *Cache) setOf(lineAddr uint64) int {
-	return int((lineAddr / c.lineSize) % uint64(c.sets))
+	return int((lineAddr >> c.lineShift) & c.setMask)
 }
 
 // Lookup returns the line holding pa, or nil on miss. A hit refreshes

@@ -67,6 +67,12 @@ type Hierarchy struct {
 	l3AccessLat sim.Cycle
 	memEP       int
 
+	// lineShift/bankMask turn bankEP's divide-and-modulo into
+	// shift-and-mask; bankMask is 0 when L3Banks is not a power of two
+	// and the slow path applies.
+	lineShift uint
+	bankMask  uint64
+
 	// Ctr is indexed by core; mute incoherent traffic is charged to
 	// the mute's own core id.
 	Ctr []stats.CacheCounters
@@ -89,6 +95,12 @@ func NewRecycled(cfg *sim.Config, rec *Recycler) *Hierarchy {
 		Dir:   NewDirectory(),
 		Ctr:   make([]stats.CacheCounters, cfg.Cores),
 		memEP: cfg.Cores + cfg.L3Banks,
+	}
+	for 1<<h.lineShift < cfg.LineSize {
+		h.lineShift++
+	}
+	if b := cfg.L3Banks; b > 0 && b&(b-1) == 0 && 1<<h.lineShift == cfg.LineSize {
+		h.bankMask = uint64(b - 1)
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		h.L1I = append(h.L1I, newCache(rec, "L1I", cfg.L1Size, cfg.L1Ways, cfg.LineSize))
@@ -129,6 +141,9 @@ func (h *Hierarchy) lineAddr(pa uint64) uint64 {
 }
 
 func (h *Hierarchy) bankEP(la uint64) int {
+	if h.bankMask != 0 {
+		return h.cfg.Cores + int((la>>h.lineShift)&h.bankMask)
+	}
 	bank := int((la / uint64(h.cfg.LineSize)) % uint64(h.cfg.L3Banks))
 	return h.cfg.Cores + bank
 }

@@ -33,6 +33,17 @@ func goldenJobs() []Job {
 			Knobs: Knobs{FaultInterval: 5_000}},
 		Job{Workload: "apache", Kind: core.KindMMMIPC, Seed: 11, Variant: "relia",
 			Knobs: Knobs{FaultInterval: 20_000, ReliaTrials: 2}},
+		// Compiled-schedule fast paths (PR 10): duty-cycle on a
+		// single-group roster, on a multi-group roster, and racing fault
+		// injection. The seven kind rows above already pin compiled
+		// static (single- and multi-group); these pin the precompiled
+		// duty timeline byte-for-byte.
+		Job{Workload: "apache", Kind: core.KindReunion, Seed: 11, Variant: "duty",
+			Knobs: Knobs{Policy: "duty-cycle"}},
+		Job{Workload: "apache", Kind: core.KindMMMIPC, Seed: 11, Variant: "duty",
+			Knobs: Knobs{Policy: "duty-cycle"}},
+		Job{Workload: "apache", Kind: core.KindMMMIPC, Seed: 11, Variant: "duty-flt",
+			Knobs: Knobs{Policy: "duty-cycle:9000:40", FaultInterval: 5_000}},
 	)
 	return jobs
 }

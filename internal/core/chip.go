@@ -116,6 +116,15 @@ type Chip struct {
 	policy         mode.Policy
 	polNextAt      sim.Cycle
 	polWantsFaults bool
+	// Compiled decision schedule (see compilePolicy): when the policy's
+	// timer behavior compiles to a mode.Program, timer decisions replay
+	// it through these fields instead of calling Decide — polActive /
+	// polRotAt mirror the rotor, polFrom the duty phase.
+	polCompiled    bool
+	polProg        mode.Program
+	polActive      int
+	polRotAt       sim.Cycle
+	polFrom        sim.Cycle
 	curAsg         []mode.Assignment
 	polStatus      []mode.PairStatus
 	polLastCommits []uint64
@@ -143,6 +152,7 @@ type Chip struct {
 	coreIdle   []bool
 	idleSince  []sim.Cycle
 	transCount int  // live entries in trans
+	drainCount int  // live entries still in phase 0 (draining)
 	transDirty bool // a transition started during the current bulk step
 
 	usePAB bool
@@ -226,10 +236,16 @@ func newChip(cfg *sim.Config, kind Kind, rec *cache.Recycler) *Chip {
 // Parked cores are skipped; their idle-cycle counters are settled
 // lazily (creditIdle), so the counters a Collect observes are identical
 // to ticking every core unconditionally.
+//
+//mmm:hotpath
 func (c *Chip) Tick() {
 	now := c.Now
 	if c.policy != nil && now >= c.polNextAt {
-		c.policyDecide(mode.Event{Kind: mode.EvTimer, Pair: -1, Cycle: now})
+		if c.polCompiled {
+			c.policyDecideCompiled(now)
+		} else {
+			c.policyDecide(mode.Event{Kind: mode.EvTimer, Pair: -1, Cycle: now})
+		}
 	}
 	if c.transCount > 0 {
 		for p := range c.trans {
@@ -277,6 +293,8 @@ func (c *Chip) tickInjectorRecorded(now sim.Cycle) {
 // earliest one, falling back to full per-cycle Ticks only at event
 // cycles and while a pair is draining toward a mode switch. The
 // resulting simulation is cycle-for-cycle identical to n Ticks.
+//
+//mmm:hotpath
 func (c *Chip) Run(n sim.Cycle) {
 	end := c.Now + n
 	for c.Now < end {
@@ -324,6 +342,8 @@ func (c *Chip) Run(n sim.Cycle) {
 // must run again, capped at end. While any pair is still draining
 // (transition phase 0) the horizon collapses to now, because drain
 // completion is detected by polling the pipelines.
+//
+//mmm:hotpath
 func (c *Chip) nextEventAt(end sim.Cycle) sim.Cycle {
 	h := end
 	if c.policy != nil && c.polNextAt < h {
@@ -335,14 +355,14 @@ func (c *Chip) nextEventAt(end sim.Cycle) sim.Cycle {
 		}
 	}
 	if c.transCount > 0 {
+		if c.drainCount > 0 {
+			// Drain completion is detected by polling the pipelines, so
+			// any pair still in phase 0 collapses the horizon to now —
+			// decided by one counter, without walking trans.
+			return c.Now
+		}
 		for _, tr := range c.trans {
-			if tr == nil {
-				continue
-			}
-			if tr.phase == 0 {
-				return c.Now
-			}
-			if tr.doneAt < h {
+			if tr != nil && tr.doneAt < h {
 				h = tr.doneAt
 			}
 		}
@@ -418,6 +438,9 @@ func (c *Chip) setAttribution(coreID, guest int) {
 func (c *Chip) ResetMeasurement() {
 	for i, core := range c.Cores {
 		c.flushAttribution(i)
+		// Settle Check-stage poll debt into the warmup counters being
+		// discarded; polls slept through after the reset accrue fresh.
+		core.SettleCheckDebt()
 		core.C = stats.CoreCounters{}
 		c.attrUser[i] = 0
 		c.attrOS[i] = 0

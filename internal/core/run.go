@@ -98,6 +98,11 @@ func (c *Chip) Measure(warmup, measure sim.Cycle) Metrics {
 // length.
 func (c *Chip) Collect(window sim.Cycle) Metrics {
 	c.syncIdle()
+	// Cores sleeping through a Check-stage wait owe the pair counters
+	// their unperformed polls; settle before summing.
+	for _, core := range c.Cores {
+		core.SettleCheckDebt()
+	}
 	for i := range c.Cores {
 		c.flushAttribution(i)
 	}

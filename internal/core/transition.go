@@ -53,6 +53,7 @@ func (c *Chip) startTransition(pi int, next pairPlan, suppressHook bool, now sim
 		cause:        cause,
 	}
 	c.transCount++
+	c.drainCount++
 	c.transDirty = true // Run must leave bulk stepping to poll the drain
 	if old.dmr && old.vocal != nil {
 		// A redundant pair drains to an agreed stream position; see
@@ -79,6 +80,7 @@ func (c *Chip) stepTransition(pi int, now sim.Cycle) {
 		vocal.BlockUntil(tr.doneAt)
 		mute.BlockUntil(tr.doneAt)
 		tr.phase = 1
+		c.drainCount--
 		c.recordTransition(pi, tr, tr.doneAt-tr.startAt, now-tr.startAt)
 	case 1: // moving
 		if now < tr.doneAt {

@@ -24,6 +24,15 @@ type Source interface {
 	Next() isa.Inst
 }
 
+// consumer is an optional Source extension: Consume advances the stream
+// cursor past the instruction the preceding Peek returned, without
+// copying it back out. Fetch always Peeks before consuming, so a source
+// that implements it (trace.SideSource) saves one multi-word struct
+// copy per fetched instruction on the hot path.
+type consumer interface {
+	Consume()
+}
+
 // Gate couples the two cores of a DMR pair at the Check stage. The core
 // reports every completed instruction (Complete) and asks permission to
 // commit (CommitReady); the gate implementation (package reunion)
@@ -31,6 +40,33 @@ type Source interface {
 type Gate interface {
 	Complete(side int, seq uint64, done sim.Cycle, fp uint64)
 	CommitReady(side int, seq uint64, now sim.Cycle) (at sim.Cycle, ok bool)
+}
+
+// Check-stage sleep states reported by a gateSleeper's CheckSleep.
+const (
+	// CheckNoSleep: the wait's outcome cannot be predicted (or a
+	// mismatch is pending); the core must keep polling CommitReady.
+	CheckNoSleep = iota
+	// CheckWaitPartner: the partner has not executed the instruction
+	// yet. The gate registered the core for a wake call on the partner's
+	// Complete, so the core may sleep with no deadline.
+	CheckWaitPartner
+	// CheckWaitRelease: both executions matched; the commit-release
+	// cycle is known and poll-invariant. The core may sleep until it,
+	// owing the gate one per-poll counter credit per slept cycle.
+	CheckWaitRelease
+)
+
+// gateSleeper is an optional Gate extension that lets a core sleep
+// through Check-stage waits instead of polling CommitReady every cycle.
+type gateSleeper interface {
+	// CheckSleep classifies the wait for seq without the counter side
+	// effects of CommitReady. A CheckWaitPartner return registers the
+	// core for a wake call when the partner completes seq.
+	CheckSleep(side int, seq uint64) (at sim.Cycle, state int)
+	// CreditWait replays the per-poll Check-stage counters for n slept
+	// cycles of a CheckWaitRelease wait.
+	CreditWait(n uint64)
 }
 
 // StoreGuard re-validates the permission of performance-mode stores
@@ -52,12 +88,6 @@ type entry struct {
 	// prefetchDone is when the store's exclusive-ownership prefetch
 	// (issued at execute, off the critical path) completes.
 	prefetchDone sim.Cycle
-	// readyAt caches the entry's earliest issue cycle so the per-cycle
-	// issue scan is one comparison instead of a dependency-history walk:
-	// 0 when the entry has no pending producer, the producer's completion
-	// cycle once the producer has issued, or readyUnknown while the
-	// producer sits unissued in the window (re-resolved each scan).
-	readyAt sim.Cycle
 }
 
 // readyUnknown marks an entry whose producer has not issued yet, so its
@@ -79,6 +109,9 @@ type Core struct {
 	Space *paging.Space
 
 	src Source
+	// srcConsume is src's optional Consume fast path (nil when the
+	// source does not implement it), resolved once at SetSource.
+	srcConsume consumer
 
 	// Mode. A coherent core participates in the MOSI protocol; a mute
 	// core (Coherent=false) uses the incoherent best-effort path. The
@@ -88,8 +121,23 @@ type Core struct {
 	side     int
 	guard    StoreGuard
 
-	// Window (ring buffer) and scheduler state.
+	// Window (ring buffer) and scheduler state. The per-entry fields the
+	// issue scan touches every cycle live in flat parallel arrays rather
+	// than in the 80-byte entry struct: a scan over scanDepth blocked
+	// entries then reads a few compact cache lines instead of one line
+	// per entry.
+	//
+	// readyAts caches each entry's earliest issue cycle (0 when the
+	// entry has no pending producer, the producer's completion cycle
+	// once the producer has issued, readyUnknown while the producer sits
+	// unissued — re-resolved each scan by readySlow). prodSeqs is the
+	// producer sequence number readySlow resolves against, computed once
+	// at insert. classes mirrors each entry's instruction class for the
+	// serializing-instruction check.
 	win      []entry
+	readyAts []sim.Cycle
+	prodSeqs []uint64
+	classes  []isa.Class
 	head     int
 	count    int
 	unissued []int
@@ -104,6 +152,26 @@ type Core struct {
 	// re-scanning before that cycle is provably fruitless. Invalidated
 	// by fetch (a new entry may be instantly ready) and by squashes.
 	issueWakeAt sim.Cycle
+
+	// sleepUntil sleeps the whole pipeline walk: armSleep sets it when,
+	// at the end of a Tick, every stage is provably inert — commit
+	// blocked on a known completion cycle, the issue scan asleep, fetch
+	// stalled on a known or externally-released condition — so Tick can
+	// replay the cycle's counter increments (the sleep* deltas below)
+	// without running commit/issue/fetch at all. Any external mutation
+	// of pipeline state (source/gate changes, holds, resumes, blocks,
+	// squashes) clears it.
+	sleepUntil sim.Cycle
+	sleepFS    uint64 // per-cycle FetchStallCycles while asleep (0/1)
+	sleepSI    uint64 // per-cycle SIStallCycles while asleep (0/1)
+	sleepWF    uint64 // per-cycle WindowFullCycles while asleep (0/1)
+	sleepSS    uint64 // per-cycle StoreCommitStall while asleep (0/1)
+	sleepCW    uint64 // per-cycle CheckWaitCycles while asleep (0/1)
+	// sleepCredit marks a CheckWaitRelease sleep: each slept cycle also
+	// owes the gate one CommitReady poll's counter increments, settled
+	// in bulk (sleepOwed → gateSleeper.CreditWait) when the sleep ends.
+	sleepCredit bool
+	sleepOwed   uint64
 
 	// TSO store buffer: completion times of posted (committed but not
 	// yet drained) stores. Empty and unused under SC.
@@ -151,6 +219,9 @@ func New(id int, cfg *sim.Config, hier *cache.Hierarchy) *Core {
 		TLB:      paging.NewTLB(cfg.TLBEntries),
 		coherent: true,
 		win:      make([]entry, cfg.WindowSize),
+		readyAts: make([]sim.Cycle, cfg.WindowSize),
+		prodSeqs: make([]uint64, cfg.WindowSize),
+		classes:  make([]isa.Class, cfg.WindowSize),
 	}
 }
 
@@ -161,8 +232,10 @@ func (c *Core) SetSource(src Source) {
 		panic("cpu: SetSource with non-empty window")
 	}
 	c.src = src
+	c.srcConsume, _ = src.(consumer)
 	c.curFetchLine = ^uint64(0)
 	c.hasPeek = false
+	c.wake()
 }
 
 // SetSpace assigns the active address space.
@@ -171,6 +244,7 @@ func (c *Core) SetSpace(s *paging.Space) { c.Space = s }
 // SetGate enables (non-nil) or disables the DMR Check stage. side is
 // the core's position in the pair (0 = vocal, 1 = mute).
 func (c *Core) SetGate(g Gate, side int) {
+	c.wake() // settle any Check-stage debt against the old gate
 	c.gate = g
 	c.side = side
 }
@@ -184,7 +258,10 @@ func (c *Core) Coherent() bool { return c.coherent }
 
 // SetGuard installs the store-permission checker (the PAB) used while
 // the core runs in performance mode; nil removes it.
-func (c *Core) SetGuard(g StoreGuard) { c.guard = g }
+func (c *Core) SetGuard(g StoreGuard) {
+	c.guard = g
+	c.wake()
+}
 
 // Drained reports whether the window is empty (required before any
 // mode transition or context switch).
@@ -194,7 +271,10 @@ func (c *Core) Drained() bool { return c.count == 0 }
 func (c *Core) Idle() bool { return c.src == nil }
 
 // HoldFetch stops instruction fetch (the window keeps draining).
-func (c *Core) HoldFetch() { c.fetchHold = true }
+func (c *Core) HoldFetch() {
+	c.fetchHold = true
+	c.wake()
+}
 
 // HoldFetchAfter lets fetch continue up to and including sequence
 // number seq, then holds. The two cores of a DMR pair must drain to an
@@ -202,6 +282,7 @@ func (c *Core) HoldFetch() { c.fetchHold = true }
 // that had fetched further could never commit (the Check stage would
 // wait forever for partner executions that never happen).
 func (c *Core) HoldFetchAfter(seq uint64) {
+	c.wake()
 	if seq == 0 {
 		c.fetchHold = true
 		return
@@ -216,6 +297,7 @@ func (c *Core) Resume(suppressHook bool) {
 	c.fetchHold = false
 	c.fetchBarrier = 0
 	c.suppressTrapHook = suppressHook
+	c.wake()
 }
 
 // BlockUntil stalls fetch until the given cycle (mode-transition
@@ -224,6 +306,9 @@ func (c *Core) BlockUntil(when sim.Cycle) {
 	if when > c.fetchBlockedUntil {
 		c.fetchBlockedUntil = when
 	}
+	// Extending the fetch block can change which stall counter a
+	// sleeping cycle would charge; re-arm from the next full Tick.
+	c.wake()
 }
 
 // InjectResultFault arranges for the next executed instruction's result
@@ -254,7 +339,7 @@ func (c *Core) Squash(now sim.Cycle, fromSeq uint64) {
 		// A squashed producer re-executes with a new completion time, and
 		// every dependent of a squashed producer is itself squashed (it is
 		// younger), so dropping the cache here keeps readyAt consistent.
-		e.readyAt = readyUnknown
+		c.readyAts[idx] = readyUnknown
 	}
 	// Rebuild the pending-issue list in program order.
 	c.unissued = c.unissued[:0]
@@ -265,8 +350,42 @@ func (c *Core) Squash(now sim.Cycle, fromSeq uint64) {
 		}
 	}
 	c.issueWakeAt = 0 // re-executed entries change the scan set
+	c.wake()
 	c.BlockUntil(now + c.cfg.RecoveryPenalty)
 	c.C.Recoveries++
+}
+
+// wake ends any armed pipeline sleep, settling Check-stage counter debt
+// accumulated by a CheckWaitRelease sleep. It is called by every
+// external event that could change what the sleeping pipeline would do
+// (and by WakeCheck when the DMR partner completes a waited-on
+// instruction); waking a core that could in fact have kept sleeping is
+// always safe — a full Tick on a sleepable cycle performs exactly the
+// increments the replay would have.
+func (c *Core) wake() {
+	c.sleepUntil = 0
+	if c.sleepOwed != 0 {
+		if gs, ok := c.gate.(gateSleeper); ok {
+			gs.CreditWait(c.sleepOwed)
+		}
+		c.sleepOwed = 0
+	}
+}
+
+// WakeCheck ends a Check-stage sleep early: the gate calls it when the
+// partner completes the instruction the core is waiting on.
+func (c *Core) WakeCheck() { c.wake() }
+
+// SettleCheckDebt flushes Check-stage counter credits owed by an
+// in-progress sleep without ending it, so an external reader (metrics
+// collection, measurement reset) observes settled gate counters.
+func (c *Core) SettleCheckDebt() {
+	if c.sleepOwed != 0 {
+		if gs, ok := c.gate.(gateSleeper); ok {
+			gs.CreditWait(c.sleepOwed)
+		}
+		c.sleepOwed = 0
+	}
 }
 
 // Tick advances the core by one cycle: commit, issue, fetch.
@@ -281,6 +400,25 @@ func (c *Core) Tick(now sim.Cycle) {
 	} else {
 		c.C.UserCycles++
 	}
+	// Pipeline sleep: a previous full Tick proved (armSleep) that every
+	// stage is inert until sleepUntil, so the cycle reduces to replaying
+	// the same counter increments the full walk would make.
+	if now < c.sleepUntil {
+		c.C.FetchStallCycles += c.sleepFS
+		c.C.SIStallCycles += c.sleepSI
+		c.C.WindowFullCycles += c.sleepWF
+		c.C.StoreCommitStall += c.sleepSS
+		c.C.CheckWaitCycles += c.sleepCW
+		if c.sleepCredit {
+			c.sleepOwed++
+		}
+		return
+	}
+	if c.sleepOwed != 0 {
+		// The sleep expired naturally: settle the Check-stage debt
+		// before the live CommitReady polls resume.
+		c.SettleCheckDebt()
+	}
 	// Fast path for a fully stalled core: the window is empty and fetch
 	// cannot proceed (held for a mode transition, or blocked on a
 	// redirect/transition latency). Nothing can commit, issue or fetch;
@@ -293,6 +431,115 @@ func (c *Core) Tick(now sim.Cycle) {
 	c.commit(now)
 	c.issue(now)
 	c.fetch(now)
+	c.armSleep(now)
+}
+
+// armSleep inspects the pipeline after a full Tick and, when every
+// stage is provably inert for a span of cycles, arms the Tick-level
+// sleep for that span. "Inert" means the stage takes the same early
+// exit on every cycle of the span, mutating nothing but its stall
+// counter: commit blocked on the head's known completion (or on an
+// unissued head that the sleeping issue scan cannot execute), issue
+// asleep on issueWakeAt, and fetch stalled on a hold, a known block
+// cycle, in-flight serializers, or a full window/load-store queue.
+// Cases whose next state transition depends on the DMR partner (Check
+// stage waits) or mutates state per cycle (TSO buffer drain) never
+// sleep. External events that could wake a stage early (Resume,
+// BlockUntil, Squash, source/gate changes) clear sleepUntil.
+func (c *Core) armSleep(now sim.Cycle) {
+	if c.count == 0 {
+		// Either fetch is progressing (no sleep) or the window is empty
+		// and held, which the count==0 fast path in Tick already covers.
+		return
+	}
+	wake := readyUnknown
+	var fs, si, wf, ss, cw uint64
+	credit := false
+	// waker records that an external event is guaranteed to end the
+	// sleep (the gate's wake on partner completion), which permits
+	// arming with no deadline.
+	waker := false
+	// Commit: the head entry must stay blocked for the whole span.
+	e := &c.win[c.head]
+	switch {
+	case !e.issued:
+		// Only the (sleeping) issue scan can unblock it; the issue
+		// check below guarantees a finite wake in that case.
+	case e.done > now:
+		wake = e.done
+	case c.gate != nil:
+		// Check stage. The gate classifies the wait without CommitReady's
+		// per-poll counter effects; the replay reproduces them.
+		gs, ok := c.gate.(gateSleeper)
+		if !ok {
+			return
+		}
+		at, state := gs.CheckSleep(c.side, e.inst.Seq)
+		switch state {
+		case CheckWaitPartner:
+			cw = 1
+			waker = true
+		case CheckWaitRelease:
+			if at <= now+1 {
+				return
+			}
+			wake = at
+			cw = 1
+			credit = true
+		default:
+			return // mismatch pending: the live poll must squash
+		}
+	case e.inst.Class == isa.Store:
+		if c.cfg.TSO || !e.storeIssued || e.storeDone <= now {
+			return // per-cycle buffer drain, or progress next cycle
+		}
+		wake = e.storeDone
+		ss = 1
+	default:
+		return // head is retirable: commit progresses next cycle
+	}
+	// Issue: the scan must be asleep (or have nothing to scan).
+	if len(c.unissued) > 0 {
+		if c.issueWakeAt <= now {
+			return
+		}
+		if c.issueWakeAt < wake {
+			wake = c.issueWakeAt
+		}
+	}
+	// Fetch: must be stalled on a stable condition.
+	switch {
+	case c.fetchHold:
+		fs = 1
+	case c.fetchBlockedUntil > now:
+		if c.fetchBlockedUntil < wake {
+			wake = c.fetchBlockedUntil
+		}
+		fs = 1
+	case c.serializers > 0:
+		si = 1
+	case c.count == len(c.win):
+		wf = 1
+	case c.fetchBarrier != 0 || !c.hasPeek:
+		return
+	case c.peeked.Class == isa.Load && c.lsqLoads >= c.cfg.LoadQueue:
+		wf = 1
+	case c.peeked.Class == isa.Store && c.lsqStores >= c.cfg.StoreQueue:
+		wf = 1
+	default:
+		return // fetch can make progress next cycle
+	}
+	if wake == readyUnknown {
+		if !waker {
+			return // nothing bounds the sleep and nothing would end it
+		}
+	} else if wake <= now+1 {
+		return
+	}
+	c.sleepUntil = wake
+	c.sleepFS, c.sleepSI, c.sleepWF, c.sleepSS = fs, si, wf, ss
+	c.sleepCW = cw
+	c.sleepCredit = credit
 }
 
 // --- commit --------------------------------------------------------------
@@ -428,6 +675,9 @@ func (c *Core) retire(e *entry, now sim.Cycle) {
 	cls := e.inst.Class
 	c.head = (c.head + 1) % len(c.win)
 	c.count--
+	// The head moved: a serializer blocked behind it may have reached
+	// the head, so a sleeping issue scan must take another look.
+	c.issueWakeAt = 0
 	if cls == isa.TrapReturn && c.OnTrapReturn != nil {
 		if c.OnTrapReturn(c) {
 			c.fetchHold = true
@@ -452,18 +702,21 @@ func (c *Core) issue(now sim.Cycle) {
 		limit = scanDepth
 	}
 	width := c.cfg.IssueWidth
-	canSleep := true
 	minWake := readyUnknown
+	// The window head cannot move during issue (commit ran already), so
+	// the committed-producer check in readySlow resolves against one
+	// hoisted sequence number for the whole scan.
+	oldest := c.win[c.head].inst.Seq
 	issued, w, i := 0, 0, 0
 	for ; i < limit; i++ {
 		idx := c.unissued[i]
-		e := &c.win[idx]
-		// Readiness fast path (the memoized wake-up cycle) is inlined
-		// here; readySlow resolves entries whose producer had not issued
-		// at the last look.
-		ra := e.readyAt
+		// Readiness fast path (the memoized wake-up cycle, kept in a
+		// flat array so a blocked scan touches compact memory, not one
+		// entry struct per element); readySlow resolves entries whose
+		// producer had not issued at the last look.
+		ra := c.readyAts[idx]
 		if ra > now {
-			if ra == readyUnknown && c.readySlow(e, now) {
+			if ra == readyUnknown && c.readySlow(idx, oldest, now) {
 				goto issuable
 			}
 			// Blocked. An entry waiting on an unissued producer keeps
@@ -471,7 +724,7 @@ func (c *Core) issue(now sim.Cycle) {
 			// needs no wake of its own: its producer sits earlier in
 			// this same scan set, so it cannot issue before minWake
 			// either.
-			if ra = e.readyAt; ra < minWake {
+			if ra = c.readyAts[idx]; ra < minWake {
 				minWake = ra
 			}
 			if w < i {
@@ -482,30 +735,31 @@ func (c *Core) issue(now sim.Cycle) {
 		}
 	issuable:
 		// Serializing instructions (and trap markers) execute only
-		// from the head of a drained window. Commits move the head
-		// independently of issue activity, so a blocked serializer
-		// forbids sleeping the scan.
-		if serializes(e.inst.Class) && idx != c.head {
-			canSleep = false
+		// from the head of a drained window. The head only moves when
+		// retire runs, and retire re-opens the scan (clears
+		// issueWakeAt), so a blocked serializer does not forbid
+		// sleeping: nothing about it can change while the scan sleeps.
+		if serializes(c.classes[idx]) && idx != c.head {
 			if w < i {
 				c.unissued[w] = idx
 			}
 			w++
 			continue
 		}
-		c.execute(e, now)
+		c.execute(&c.win[idx], now)
 		if issued++; issued >= width {
 			i++
 			break
 		}
 	}
 	if i == w {
-		// Nothing issued: the pending list is untouched. If every
-		// blocked entry's wake-up is known, sleep the scan until the
-		// earliest one.
-		if canSleep && minWake != readyUnknown {
-			c.issueWakeAt = minWake
-		}
+		// Nothing issued: the pending list is untouched. Sleep the scan
+		// until the earliest known wake-up. When no blocked entry has a
+		// known wake (all wait on unissued producers or on reaching the
+		// head), the scan sleeps indefinitely: the only events that can
+		// change its outcome — a fetch, a squash, or the head advancing —
+		// all clear issueWakeAt.
+		c.issueWakeAt = minWake
 		return
 	}
 	// Close the gaps left by issued entries; the tail beyond the scan
@@ -520,29 +774,25 @@ func serializes(cl isa.Class) bool {
 }
 
 // readySlow resolves the producer dependency of an entry whose wake-up
-// cycle is still unknown, memoizing it in e.readyAt once the producer
+// cycle is still unknown, memoizing it in readyAts once the producer
 // has issued. The issue loop's inlined readyAt comparison answers every
 // later scan in one load, which matters because the scan re-examines up
-// to scanDepth entries on every cycle of a stall.
-func (c *Core) readySlow(e *entry, now sim.Cycle) bool {
-	if e.inst.Dep == 0 || uint64(e.inst.Dep) >= e.inst.Seq {
-		e.readyAt = 0
-		return true
-	}
-	pseq := e.inst.Seq - uint64(e.inst.Dep)
-	if c.count > 0 {
-		oldest := c.win[c.head].inst.Seq
-		if pseq < oldest {
-			e.readyAt = 0
-			return true // producer committed long ago
-		}
+// to scanDepth entries on every cycle of a stall. The producer sequence
+// number was precomputed at insert (prodSeqs, 0 when the entry has no
+// producer), so resolution never touches the entry struct.
+func (c *Core) readySlow(idx int, oldest uint64, now sim.Cycle) bool {
+	pseq := c.prodSeqs[idx]
+	if pseq < oldest {
+		c.readyAts[idx] = 0
+		return true // no producer, or it committed long ago
 	}
 	h := pseq % histSize
 	if c.histSeq[h] != pseq {
 		return false // producer in window but not yet issued
 	}
-	e.readyAt = c.histDone[h]
-	return e.readyAt <= now
+	ra := c.histDone[h]
+	c.readyAts[idx] = ra
+	return ra <= now
 }
 
 // execute models the execution of one instruction: functional units,
@@ -597,7 +847,7 @@ func (c *Core) execute(e *entry, now sim.Cycle) {
 		// The window keeps the architecturally correct instruction, so
 		// re-execution after a squash computes the correct fingerprint
 		// — exactly the transient-fault recovery model.
-		fp := e.inst.Fingerprint()
+		fp := e.inst.FP
 		if c.faultFlip != 0 {
 			corrupted := e.inst
 			corrupted.Result ^= c.faultFlip
@@ -711,7 +961,11 @@ func (c *Core) fetch(now sim.Cycle) {
 		if in.Class == isa.TrapEnter {
 			c.suppressTrapHook = false
 		}
-		c.src.Next()
+		if c.srcConsume != nil {
+			c.srcConsume.Consume()
+		} else {
+			c.src.Next()
+		}
 		c.hasPeek = false
 		c.insert(in, now)
 	}
@@ -740,11 +994,16 @@ func (c *Core) fetchLine(pc uint64, now sim.Cycle) sim.Cycle {
 // insert places a fetched instruction into the window.
 func (c *Core) insert(in isa.Inst, now sim.Cycle) {
 	tail := (c.head + c.count) % len(c.win)
-	readyAt := readyUnknown
-	if in.Dep == 0 {
-		readyAt = 0 // no producer: issuable immediately
+	readyAt := sim.Cycle(0) // no producer: issuable immediately
+	pseq := uint64(0)
+	if in.Dep != 0 && uint64(in.Dep) < in.Seq {
+		readyAt = readyUnknown // producer in flight: resolved by readySlow
+		pseq = in.Seq - uint64(in.Dep)
 	}
-	c.win[tail] = entry{inst: in, readyAt: readyAt}
+	c.win[tail] = entry{inst: in}
+	c.readyAts[tail] = readyAt
+	c.prodSeqs[tail] = pseq
+	c.classes[tail] = in.Class
 	c.count++
 	c.unissued = append(c.unissued, tail)
 	if len(c.unissued) <= scanDepth {

@@ -1,5 +1,5 @@
 // Package lint is the repository's determinism-invariant analyzer
-// suite: four repo-specific static analyzers that turn the byte-
+// suite: five repo-specific static analyzers that turn the byte-
 // identity contract defended at runtime by the golden-row, replay and
 // traced-vs-untraced tests into compile-time errors. It is a small,
 // dependency-free reimplementation of the golang.org/x/tools
@@ -17,6 +17,8 @@
 //     internal/obs begins with a nil-receiver guard.
 //   - knobcover: every field of an //mmm:knobcover-annotated struct is
 //     read by its fingerprint/key/seed coverage functions.
+//   - hotalloc:  no make/map/escaping-append allocations inside
+//     functions annotated //mmm:hotpath (the per-cycle loop).
 //
 // Audited exceptions are declared in source with //mmm: directives
 // (see Suppressed); every directive requires a reason.
@@ -66,7 +68,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetClock, MapOrder, NilSafe, KnobCover}
+	return []*Analyzer{DetClock, MapOrder, NilSafe, KnobCover, HotAlloc}
 }
 
 // ByName resolves a comma-separated analyzer selection ("" = all).
@@ -86,7 +88,7 @@ func ByName(sel string) ([]*Analyzer, error) {
 		}
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("lint: unknown analyzer %q (have detclock, maporder, nilsafe, knobcover)", name)
+			return nil, fmt.Errorf("lint: unknown analyzer %q (have detclock, maporder, nilsafe, knobcover, hotalloc)", name)
 		}
 		out = append(out, a)
 	}

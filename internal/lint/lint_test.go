@@ -66,6 +66,17 @@ func TestKnobCoverCampaignEnforcement(t *testing.T) {
 	linttest.Run(t, lint.KnobCover, fixture("knobcover", "campaign"), "repro/internal/campaign")
 }
 
+// TestHotAllocFixture: every allocation kind fires inside //mmm:hotpath
+// functions (including closures), the scratch-buffer self-append idiom,
+// reasoned suppressions and unannotated functions pass, and a
+// reasonless directive is called out.
+func TestHotAllocFixture(t *testing.T) {
+	fs := linttest.Run(t, lint.HotAlloc, fixture("hotalloc", "hot"), "example.com/hot")
+	if len(fs) != 7 {
+		t.Errorf("hotalloc fixture produced %d findings, want 7", len(fs))
+	}
+}
+
 // TestRepoTreeIsClean pins the acceptance criterion: mmmlint over the
 // whole repository exits clean. Any new finding must be fixed or
 // carry an audited suppression in the same change.
@@ -90,8 +101,8 @@ func TestRepoTreeIsClean(t *testing.T) {
 // unknown names.
 func TestByName(t *testing.T) {
 	all, err := lint.ByName("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
 	}
 	two, err := lint.ByName("detclock, maporder")
 	if err != nil || len(two) != 2 {

@@ -1,0 +1,53 @@
+// Package hot is the hotalloc fixture: allocations inside //mmm:hotpath
+// functions fire, scratch-buffer idioms and unannotated functions do
+// not, and suppressions need a reason.
+package hot
+
+// step is the per-cycle loop: every allocation kind fires.
+//
+//mmm:hotpath
+func step(xs []int, n int) []int {
+	buf := make([]int, n) // want "make in //mmm:hotpath function step allocates"
+	m := map[int]int{}    // want "map literal in //mmm:hotpath function step allocates"
+	lit := []int{1, 2}    // want "slice literal in //mmm:hotpath function step allocates"
+	out := append(xs, n)  // want "append escaping its input slice in //mmm:hotpath function step allocates"
+	m[n] = len(buf) + len(lit)
+	return out
+}
+
+// scratch reuses its buffers: the self-append idiom and suppressed
+// sites pass.
+//
+//mmm:hotpath
+func scratch(acc []int, n int) []int {
+	acc = acc[:0]
+	for i := 0; i < n; i++ {
+		acc = append(acc, i) // self-append reuses capacity: allowed
+	}
+	//mmm:hotalloc-ok cold path, runs once per campaign
+	audited := make([]int, 1)
+	return append(acc, audited...) // want "append escaping its input slice"
+}
+
+// unreasoned directives do not suppress.
+//
+//mmm:hotpath
+func unreasoned(n int) []int {
+	//mmm:hotalloc-ok
+	return make([]int, n) // want "directive with no reason"
+}
+
+// closures declared inside a hot function are hot too.
+//
+//mmm:hotpath
+func nested(n int) func() []int {
+	return func() []int {
+		return make([]int, n) // want "make in //mmm:hotpath function nested allocates"
+	}
+}
+
+// cold is not annotated: allocations are fine.
+func cold(n int) []int {
+	m := map[int]int{n: n}
+	return append(make([]int, 0, n), m[n])
+}

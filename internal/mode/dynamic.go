@@ -23,6 +23,7 @@ type utilization struct {
 	pairs    int
 	sampleAt sim.Cycle
 	ovr      []Override
+	asg      []Assignment // Decide scratch, reused across decisions
 }
 
 // Name implements Policy.
@@ -37,7 +38,8 @@ func (p *utilization) Reset(t Topology) []Assignment {
 	p.pairs = t.Pairs
 	p.sampleAt = p.period
 	p.ovr = make([]Override, t.Pairs)
-	return make([]Assignment, t.Pairs)
+	p.asg = make([]Assignment, t.Pairs)
+	return p.asg
 }
 
 // NextEventAt implements Policy.
@@ -75,7 +77,7 @@ func (p *utilization) Decide(ev Event, pairs []PairStatus) []Assignment {
 	if !rotated && !sampled {
 		return nil
 	}
-	asg := make([]Assignment, p.pairs)
+	asg := p.asg
 	for i := range asg {
 		asg[i] = Assignment{Group: p.rot.active, Override: p.ovr[i]}
 	}
@@ -96,7 +98,8 @@ type dutyCycle struct {
 	window sim.Cycle // coupled prefix of each period
 	pct    int       // the duty percent as specified, echoed by Name
 	pairs  int
-	from   sim.Cycle // boundaries at or after this cycle are upcoming
+	from   sim.Cycle    // boundaries at or after this cycle are upcoming
+	asg    []Assignment // Decide scratch, reused across decisions
 }
 
 // Name implements Policy: the canonical parameterized form, with the
@@ -120,11 +123,11 @@ func (p *dutyCycle) Reset(t Topology) []Assignment {
 	p.rot.reset(t)
 	p.pairs = t.Pairs
 	p.from = 1 // cycle 0's scrub window is applied by Reset itself
-	asg := make([]Assignment, t.Pairs)
-	for i := range asg {
-		asg[i].Override = OverrideCouple // cycle 0 opens a scrub window
+	p.asg = make([]Assignment, t.Pairs)
+	for i := range p.asg {
+		p.asg[i] = Assignment{Override: OverrideCouple} // cycle 0 opens a scrub window
 	}
-	return asg
+	return p.asg
 }
 
 // NextEventAt implements Policy: the earlier of the gang rotation and
@@ -165,13 +168,19 @@ func (p *dutyCycle) Decide(ev Event, pairs []PairStatus) []Assignment {
 	if ev.Cycle%p.period < p.window {
 		ovr = OverrideCouple
 	}
-	asg := make([]Assignment, p.pairs)
+	asg := p.asg
 	for i := range asg {
 		asg[i] = Assignment{Group: p.rot.active, Override: ovr}
 	}
 	// NextEventAt must move past the boundary just handled.
 	p.from = ev.Cycle + 1
 	return asg
+}
+
+// Compile implements Scheduled: the gang rotation composed with the
+// duty phase — both pure functions of the clock.
+func (p *dutyCycle) Compile(t Topology) (Program, bool) {
+	return Program{Groups: t.Groups, Slice: t.Timeslice, Period: p.period, Window: p.window}, true
 }
 
 // faultEsc is the fault-escalation policy: a pair runs decoupled (as
@@ -190,6 +199,7 @@ type faultEsc struct {
 	pairs    int
 	deadline []sim.Cycle // per pair; 0 = not escalated
 	retryAt  sim.Cycle
+	asg      []Assignment // Decide scratch, reused across decisions
 }
 
 // Name implements Policy.
@@ -210,7 +220,8 @@ func (p *faultEsc) Reset(t Topology) []Assignment {
 	p.pairs = t.Pairs
 	p.deadline = make([]sim.Cycle, t.Pairs)
 	p.retryAt = sim.Never
-	return make([]Assignment, t.Pairs)
+	p.asg = make([]Assignment, t.Pairs)
+	return p.asg
 }
 
 // NextEventAt implements Policy: the earliest of rotation, the next
@@ -246,9 +257,9 @@ func (p *faultEsc) Decide(ev Event, pairs []PairStatus) []Assignment {
 			}
 		}
 	}
-	asg := make([]Assignment, p.pairs)
+	asg := p.asg
 	for i := range asg {
-		asg[i].Group = p.rot.active
+		asg[i] = Assignment{Group: p.rot.active}
 		if p.deadline[i] != 0 {
 			asg[i].Override = OverrideCouple
 		}

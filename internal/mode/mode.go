@@ -167,10 +167,42 @@ type Policy interface {
 	// change and whose transition machinery is free; assignments for
 	// busy pairs are dropped (the policy sees the divergence in the
 	// next PairStatus and may re-issue).
+	//
+	// The returned slice is scratch owned by the policy: it may be
+	// overwritten by the next Decide (or Reset), so callers must copy
+	// any assignments they retain past the call.
 	Decide(ev Event, pairs []PairStatus) []Assignment
 	// WantsFaults reports whether the chip should forward protection
 	// events (EvMachineCheck, EvPABException) to Decide. Policies that
 	// ignore faults return false so fault campaigns on static systems
 	// pay no policy overhead.
 	WantsFaults() bool
+}
+
+// Program is a compiled decision schedule: the complete, deterministic
+// timer behavior of a status-oblivious policy, reduced to four numbers
+// the chip can evaluate inline. A program describes a gang rotation
+// (Groups taking turns in Slice-cycle timeslices; Groups <= 1 means no
+// rotation ever fires) optionally composed with a duty cycle (the first
+// Window cycles of every Period force OverrideCouple, the rest force
+// OverrideDecouple; Period 0 means no duty phase and OverrideNone
+// throughout). The chip's compiled fast path replays the schedule
+// without calling Decide, devirtualizing the policy out of the hot
+// loop; the golden-row and Run-vs-Tick regressions pin the replay to
+// the generic path cycle-for-cycle.
+type Program struct {
+	Groups int
+	Slice  sim.Cycle
+	Period sim.Cycle
+	Window sim.Cycle
+}
+
+// Scheduled is implemented by policies whose entire decision sequence
+// is a precompilable function of the clock — no dependence on pair
+// status or protection events. Compile reports ok=false when the
+// policy's current parameterization cannot be expressed as a Program,
+// in which case the chip falls back to the generic Decide path.
+type Scheduled interface {
+	Policy
+	Compile(t Topology) (Program, bool)
 }

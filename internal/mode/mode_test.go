@@ -218,3 +218,32 @@ func TestDynamicExcludesStatic(t *testing.T) {
 		t.Fatalf("Dynamic() = %v, Names() = %v", Dynamic(), Names())
 	}
 }
+
+// BenchmarkPolicyDecide measures the per-decision cost of every
+// registered policy on a consolidated-server topology. The allocs/op
+// column is the contract under test: Decide reuses a policy-owned
+// scratch slice (PR 10), so steady-state decisions must not allocate.
+// Run with -benchmem; any policy above 0 allocs/op has regressed.
+func BenchmarkPolicyDecide(b *testing.B) {
+	for _, name := range Names() {
+		b.Run(name, func(b *testing.B) {
+			p, err := New(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Reset(Topology{Pairs: 4, Groups: 2, Timeslice: 1000})
+			st := make([]PairStatus, 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Fire exactly at the policy's own deadline so every
+				// iteration is a real decision, not an ignored event.
+				at := p.NextEventAt()
+				if at == sim.Never {
+					at = sim.Cycle(i) // duty/static single-group never hit this here
+				}
+				p.Decide(Event{Kind: EvTimer, Pair: -1, Cycle: at}, st)
+			}
+		})
+	}
+}

@@ -48,6 +48,7 @@ func (r *rotor) due(now sim.Cycle) bool {
 type static struct {
 	rot   rotor
 	pairs int
+	asg   []Assignment // Decide scratch, reused across decisions
 }
 
 // Name implements Policy.
@@ -60,7 +61,8 @@ func (p *static) WantsFaults() bool { return false }
 func (p *static) Reset(t Topology) []Assignment {
 	p.rot.reset(t)
 	p.pairs = t.Pairs
-	return make([]Assignment, t.Pairs) // group 0, no override
+	p.asg = make([]Assignment, t.Pairs)
+	return p.asg // group 0, no override
 }
 
 // NextEventAt implements Policy.
@@ -72,9 +74,14 @@ func (p *static) Decide(ev Event, pairs []PairStatus) []Assignment {
 	if ev.Kind != EvTimer || !p.rot.due(ev.Cycle) {
 		return nil
 	}
-	asg := make([]Assignment, p.pairs)
+	asg := p.asg
 	for i := range asg {
-		asg[i].Group = p.rot.active
+		asg[i] = Assignment{Group: p.rot.active}
 	}
 	return asg
+}
+
+// Compile implements Scheduled: the gang rotation with no duty phase.
+func (p *static) Compile(t Topology) (Program, bool) {
+	return Program{Groups: t.Groups, Slice: t.Timeslice}, true
 }

@@ -25,8 +25,15 @@ type TLBEntry struct {
 type TLB struct {
 	sets    int
 	ways    int
+	setMask uint64
 	entries []TLBEntry
-	tick    uint64
+	// keys packs each way's (valid, asid, vpage) into one comparable
+	// word — (asid+1)<<48 | vpage, 0 when invalid — so the lookup fast
+	// path compares one flat uint64 per way instead of three entry
+	// fields scattered across a 48-byte struct. Kept in sync with
+	// entries by every mutation.
+	keys []uint64
+	tick uint64
 
 	Lookups uint64
 	Misses  uint64
@@ -55,7 +62,13 @@ func NewTLB(n int) *TLB {
 	if sets == 0 || sets&(sets-1) != 0 {
 		panic("paging: TLB set count must be a positive power of two")
 	}
-	return &TLB{sets: sets, ways: ways, entries: make([]TLBEntry, n)}
+	return &TLB{
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		entries: make([]TLBEntry, n),
+		keys:    make([]uint64, n),
+	}
 }
 
 // OnDemap registers fn to be called with the physical page of every
@@ -66,8 +79,12 @@ func (t *TLB) OnDemap(fn func(ppage uint64)) { t.demapListener = fn }
 // translation is consumed by a lookup.
 func (t *TLB) OnCorruptUse(fn func(vpage, ppage uint64)) { t.corruptListener = fn }
 
+func key(asid int, vpage uint64) uint64 {
+	return (uint64(asid)+1)<<48 | vpage
+}
+
 func (t *TLB) setOf(asid int, vpage uint64) int {
-	return int((vpage ^ uint64(asid)*0x9e37) % uint64(t.sets))
+	return int((vpage ^ uint64(asid)*0x9e37) & t.setMask)
 }
 
 // Lookup translates va in the given space. hit is false when the
@@ -78,19 +95,21 @@ func (t *TLB) Lookup(s *Space, va uint64) (pa uint64, hit, ok bool) {
 	t.Lookups++
 	vpage := va >> s.phys.pageShift
 	off := va & (s.PageBytes() - 1)
+	k := key(s.ASID, vpage)
 	base := t.setOf(s.ASID, vpage) * t.ways
 	for i := 0; i < t.ways; i++ {
-		e := &t.entries[base+i]
-		if e.valid && e.asid == s.ASID && e.vpage == vpage {
-			e.lru = t.tick
-			if e.corrupt {
-				e.corrupt = false
-				if t.corruptListener != nil {
-					t.corruptListener(e.vpage, e.ppage)
-				}
-			}
-			return e.ppage<<s.phys.pageShift | off, true, true
+		if t.keys[base+i] != k {
+			continue
 		}
+		e := &t.entries[base+i]
+		e.lru = t.tick
+		if e.corrupt {
+			e.corrupt = false
+			if t.corruptListener != nil {
+				t.corruptListener(e.vpage, e.ppage)
+			}
+		}
+		return e.ppage<<s.phys.pageShift | off, true, true
 	}
 	// Hardware fill from the page table.
 	ppage, found := s.lookup(vpage)
@@ -119,6 +138,7 @@ func (t *TLB) insert(asid int, vpage, ppage uint64) {
 		}
 	}
 	t.entries[victim] = TLBEntry{valid: true, asid: asid, vpage: vpage, ppage: ppage, lru: t.tick}
+	t.keys[victim] = key(asid, vpage)
 }
 
 // Demap removes any translation for (asid, vpage) and notifies the
@@ -130,6 +150,7 @@ func (t *TLB) Demap(asid int, vpage uint64) {
 		e := &t.entries[base+i]
 		if e.valid && e.asid == asid && e.vpage == vpage {
 			e.valid = false
+			t.keys[base+i] = 0
 			t.Demaps++
 			if t.demapListener != nil {
 				t.demapListener(e.ppage)
@@ -144,6 +165,7 @@ func (t *TLB) DemapAll(asid int) {
 		e := &t.entries[i]
 		if e.valid && e.asid == asid {
 			e.valid = false
+			t.keys[i] = 0
 			t.Demaps++
 			if t.demapListener != nil {
 				t.demapListener(e.ppage)
@@ -176,6 +198,7 @@ func (t *TLB) Flush() {
 	for i := range t.entries {
 		t.entries[i].valid = false
 		t.entries[i].corrupt = false
+		t.keys[i] = 0
 	}
 }
 

@@ -40,6 +40,13 @@ type Pair struct {
 	vocal *cpu.Core
 	mute  *cpu.Core
 
+	// Check-stage sleep registrations (cpu.gateSleeper): waiting[s] is
+	// set while core s sleeps until the partner completes waitSeq[s].
+	// Stale registrations are harmless — waking an already-awake core
+	// (or one that re-armed a different sleep) is always safe.
+	waitSeq [2]uint64
+	waiting [2]bool
+
 	// Repeated-mismatch escalation state: how many times the same
 	// sequence number has mismatched in a row. Squash-and-re-execute
 	// only recovers transient corruption; a persistent divergence (e.g.
@@ -111,12 +118,58 @@ func (p *Pair) reset() {
 		}
 	}
 	p.stuckSeq, p.stuckN = 0, 0
+	p.waiting[0], p.waiting[1] = false, false
+}
+
+func (p *Pair) core(side int) *cpu.Core {
+	if side == 0 {
+		return p.vocal
+	}
+	return p.mute
 }
 
 // Complete records that side finished executing seq at cycle done with
-// fingerprint fp (cpu.Gate).
+// fingerprint fp (cpu.Gate). If the partner core is sleeping until this
+// instruction's record arrives, it is woken.
 func (p *Pair) Complete(side int, seq uint64, done sim.Cycle, fp uint64) {
 	p.rings[side][seq%ringSize] = record{seq: seq, done: done, fp: fp, valid: true}
+	if p.waiting[1-side] && p.waitSeq[1-side] == seq {
+		p.waiting[1-side] = false
+		p.core(1 - side).WakeCheck()
+	}
+}
+
+// CheckSleep classifies the Check-stage wait for seq on side without
+// CommitReady's counter side effects (cpu gateSleeper extension). A
+// partner-missing wait registers the core for a wake on the partner's
+// Complete.
+func (p *Pair) CheckSleep(side int, seq uint64) (sim.Cycle, int) {
+	self := &p.rings[side][seq%ringSize]
+	other := &p.rings[1-side][seq%ringSize]
+	if !self.valid || self.seq != seq {
+		return 0, cpu.CheckNoSleep
+	}
+	if !other.valid || other.seq != seq {
+		p.waitSeq[side] = seq
+		p.waiting[side] = true
+		return 0, cpu.CheckWaitPartner
+	}
+	if self.fp != other.fp {
+		return 0, cpu.CheckNoSleep // the next live poll squashes
+	}
+	done := self.done
+	if other.done > done {
+		done = other.done
+	}
+	return done + p.link.Latency(), cpu.CheckWaitRelease
+}
+
+// CreditWait replays the per-poll counters of n slept CommitReady polls
+// of a matched-and-waiting-for-the-link instruction (cpu gateSleeper
+// extension).
+func (p *Pair) CreditWait(n uint64) {
+	p.Checks += n
+	p.link.Sent += n
 }
 
 // CommitReady implements the Check stage (cpu.Gate): instruction seq on

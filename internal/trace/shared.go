@@ -65,6 +65,19 @@ func (s *Shared) Next(side int) isa.Inst {
 	return in
 }
 
+// Consume advances the given side's cursor past the instruction Peek
+// returned, without copying it back out. It consumes exactly the
+// instruction Next would have; callers that already hold the Peeked
+// value (the core's fetch stage) save the copy.
+func (s *Shared) Consume(side int) {
+	idx := s.cur[side]
+	for idx >= s.base+uint64(len(s.buf)) {
+		s.buf = append(s.buf, s.g.Next())
+	}
+	s.cur[side] = idx + 1
+	s.trim()
+}
+
 // MaxCursor returns the stream position of the side that has consumed
 // the most instructions; the sequence number of the last instruction
 // consumed by that side equals this value. Mode transitions use it as
@@ -126,3 +139,7 @@ func (ss *SideSource) Next() isa.Inst { return ss.s.Next(ss.side) }
 
 // Peek inspects the next instruction without consuming it.
 func (ss *SideSource) Peek() isa.Inst { return ss.s.Peek(ss.side) }
+
+// Consume advances past the instruction Peek returned without copying
+// it back out.
+func (ss *SideSource) Consume() { ss.s.Consume(ss.side) }

@@ -172,16 +172,23 @@ func NewInGuest(p *workload.Params, seed uint64, gs *GuestState) *Gen {
 // Next returns the next dynamic instruction.
 func (g *Gen) Next() isa.Inst {
 	g.seq++
+	var in isa.Inst
 	if g.remaining <= 0 {
-		return g.phaseSwitch()
+		in = g.phaseSwitch()
+	} else {
+		g.remaining--
+		if g.inOS {
+			g.OSInsts++
+			in = g.gen(true)
+		} else {
+			g.UserInsts++
+			in = g.gen(false)
+		}
 	}
-	g.remaining--
-	if g.inOS {
-		g.OSInsts++
-		return g.gen(true)
-	}
-	g.UserInsts++
-	return g.gen(false)
+	// Fingerprint once at generation: both cores of a DMR pair check the
+	// same hash, and re-executions after a squash re-read it for free.
+	in.FP = in.Fingerprint()
+	return in
 }
 
 // phaseSwitch emits the trap-enter or trap-return marking a transition
